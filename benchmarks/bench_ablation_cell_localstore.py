@@ -1,0 +1,83 @@
+"""A4 — §6.3 ablation: the Cell Local-Store capacity wall for QSORT.
+
+"The reason for not using larger problem sizes is that they would not fit
+in each SPE Local Store.  To overcome this limitation we would have to
+change the algorithm in order to perform the execution in stages."
+
+Reproduced as a sweep of QSORT input size against the Local-Store data
+budget: the Cell-column sizes of Table 1 run; the simulated-column sizes
+do not (the resident merge inputs overflow), which is exactly why the
+paper's Table 1 gives QSORT a separate, smaller Cell grid.
+"""
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.apps import get_benchmark, problem_sizes
+from repro.cell.localstore import CellLocalStoreError
+from repro.platforms import TFluxCell
+
+
+def try_size(n_elements: int) -> tuple[bool, str]:
+    """Attempt QSORT with *n_elements* on the Cell; returns (ran, note)."""
+    from repro.apps.common import ProblemSize
+
+    bench = get_benchmark("qsort")
+    size = ProblemSize("qsort", "C", f"n{n_elements}", {"n": n_elements})
+    prog = bench.build(size, unroll=16, max_threads=512)
+    try:
+        res = TFluxCell().execute(prog, nkernels=4)
+        bench.verify(res.env, size)
+        return True, f"{res.region_cycles:,} cycles"
+    except CellLocalStoreError as exc:
+        return False, str(exc).split(";")[0]
+
+
+SIZES = (3_000, 6_000, 12_000, 20_000, 26_000, 50_000)
+
+
+@pytest.fixture(scope="module")
+def outcomes():
+    return {n: try_size(n) for n in SIZES}
+
+
+def test_localstore_wall_table(outcomes):
+    lines = [
+        "A4 — QSORT on TFluxCell vs Local-Store capacity (merge inputs resident)",
+        f"{'elements':>9} {'runs?':>6}  note",
+    ]
+    for n, (ran, note) in outcomes.items():
+        lines.append(f"{n:>9} {'yes' if ran else 'NO':>6}  {note}")
+    report("\n".join(lines))
+
+
+def test_cell_table1_sizes_all_run(outcomes):
+    for n in (3_000, 6_000, 12_000):
+        ran, note = outcomes[n]
+        assert ran, f"Table-1 Cell size {n} failed: {note}"
+
+
+def test_simulated_sizes_hit_the_wall(outcomes):
+    """The S/N 50K input cannot run — the constraint that forced the
+    paper's separate Cell size column."""
+    ran, note = outcomes[50_000]
+    assert not ran
+    assert "Local Store" in note
+
+
+def test_wall_is_a_threshold(outcomes):
+    """Outcomes are monotone: once an input overflows, larger ones do."""
+    seen_failure = False
+    for n in SIZES:
+        ran, _ = outcomes[n]
+        if not ran:
+            seen_failure = True
+        elif seen_failure:
+            pytest.fail(f"size {n} ran after a smaller size failed")
+
+
+def test_ablation_benchmark(benchmark, outcomes):
+    result = benchmark.pedantic(
+        lambda: try_size(3_000)[0], rounds=1, iterations=1
+    )
+    assert result

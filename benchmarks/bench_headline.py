@@ -1,0 +1,75 @@
+"""N1 — the paper's headline numbers (§1/§8).
+
+"The experimental results show that the performance achieved is close to
+linear speedup, on average 21x for the 27 nodes TFluxHard, and 4.4x on a
+6 nodes TFluxSoft and TFluxCell.  Most importantly, the observed speedup
+is stable across the different platforms."
+"""
+
+import pytest
+
+from benchmarks.conftest import MAX_THREADS, UNROLLS_CELL, UNROLLS_HARD, UNROLLS_SOFT, report
+from repro.analysis import sweep_figure
+from repro.platforms import TFluxCell, TFluxHard, TFluxSoft
+
+HARD_BENCHES = ("trapez", "mmult", "qsort", "susan", "fft")
+CELL_BENCHES = ("trapez", "mmult", "qsort", "susan")
+
+
+@pytest.fixture(scope="module")
+def hard():
+    return sweep_figure(
+        TFluxHard(), HARD_BENCHES, kernel_counts=(27,), sizes=("large",),
+        unrolls=UNROLLS_HARD, max_threads=MAX_THREADS,
+    )
+
+
+@pytest.fixture(scope="module")
+def soft():
+    return sweep_figure(
+        TFluxSoft(), HARD_BENCHES, kernel_counts=(6,), sizes=("large",),
+        unrolls=UNROLLS_SOFT, max_threads=MAX_THREADS,
+    )
+
+
+@pytest.fixture(scope="module")
+def cell():
+    return sweep_figure(
+        TFluxCell(), CELL_BENCHES, kernel_counts=(6,), sizes=("large",),
+        unrolls=UNROLLS_CELL, max_threads=MAX_THREADS,
+    )
+
+
+def test_headline_table(hard, soft, cell):
+    lines = [
+        "N1 — headline averages (large inputs)",
+        f"{'platform':<11} {'nodes':>5} {'measured':>9} {'paper':>7}",
+        f"{'tfluxhard':<11} {27:>5} {hard.average(27, 'large'):>9.2f} {21.0:>7}",
+        f"{'tfluxsoft':<11} {6:>5} {soft.average(6, 'large'):>9.2f} {'~4.4':>7}",
+        f"{'tfluxcell':<11} {6:>5} {cell.average(6, 'large'):>9.2f} {'~4.4':>7}",
+    ]
+    report("\n".join(lines))
+
+
+def test_hard_average_near_21(hard):
+    avg = hard.average(27, "large")
+    assert 16.0 < avg < 26.0, f"{avg:.2f}"
+
+
+def test_software_platforms_average_near_4_4(soft, cell):
+    combined = (soft.average(6, "large") + cell.average(6, "large")) / 2
+    assert 3.5 < combined < 6.0, f"{combined:.2f}"
+
+
+def test_stability_across_platforms(soft, cell):
+    """'the observed speedup is stable across the different platforms':
+    per-benchmark 6-node speedups of the two software platforms agree
+    within a factor."""
+    for bench in CELL_BENCHES:
+        s = soft.speedup(bench, 6, "large")
+        c = cell.speedup(bench, 6, "large")
+        assert 0.55 < s / c < 1.8, f"{bench}: soft {s:.2f} vs cell {c:.2f}"
+
+
+def test_headline_benchmark(benchmark, hard):
+    benchmark.pedantic(lambda: hard.average(27, "large"), rounds=1, iterations=1)

@@ -1,0 +1,69 @@
+"""Wall-clock benchmarks of the native (real-threads) runtime.
+
+These are the only *real-time* measurements in the harness (everything
+else reports simulated cycles): pytest-benchmark times actual DDM
+executions on host OS threads, exercising the true TUB locks, the
+emulator thread, and the GIL.  Used to track runtime-protocol overhead
+regressions rather than to reproduce paper numbers.
+"""
+
+import pytest
+
+from repro.apps import get_benchmark, problem_sizes
+from repro.core import ProgramBuilder
+from repro.runtime.native import NativeRuntime
+
+
+def overhead_program(nthreads=200):
+    """Minimal-body threads: measures pure runtime-protocol overhead."""
+    b = ProgramBuilder("overhead")
+    b.env.alloc("parts", nthreads)
+    t1 = b.thread(
+        "w",
+        body=lambda env, i: env.array("parts").__setitem__(i, i),
+        contexts=nthreads,
+    )
+    t2 = b.thread("r", body=lambda env, _: env.set("done", True))
+    b.depends(t1, t2, "all")
+    return b.build()
+
+
+@pytest.mark.parametrize("nkernels", [1, 2, 4])
+def test_native_protocol_overhead(benchmark, nkernels):
+    """Time per DThread dispatch through fetch/TUB/emulator, by kernels."""
+
+    def run():
+        res = NativeRuntime(overhead_program(), nkernels=nkernels).run()
+        assert res.env.get("done")
+        return res
+
+    res = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert res.total_dthreads == 201
+
+
+def test_native_mmult_wallclock(benchmark):
+    """End-to-end MMULT (NumPy bodies release the GIL)."""
+    bench = get_benchmark("mmult")
+    size = problem_sizes("mmult", "N")["small"]
+
+    def run():
+        prog = bench.build(size, unroll=32, max_threads=64)
+        return NativeRuntime(prog, nkernels=4).run()
+
+    res = benchmark.pedantic(run, rounds=3, iterations=1)
+    bench.verify(res.env, size)
+
+
+def test_native_tub_throughput(benchmark):
+    """TUB push+drain throughput under the real locks."""
+    from repro.tsu.tub import ThreadUpdateBuffer
+
+    def run():
+        tub = ThreadUpdateBuffer(nsegments=8, segment_capacity=64)
+        for i in range(400):
+            tub.push(i, preferred_segment=i % 8)
+            if i % 50 == 49:
+                tub.drain()
+        return len(tub.drain())
+
+    benchmark(run)

@@ -1,0 +1,35 @@
+"""T1 — Table 1: workload description and problem sizes.
+
+Regenerates the table and benchmarks the workload generators themselves
+(building each DDM program, which is what Table 1 parameterises).
+"""
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.apps import BENCHMARKS, get_benchmark, problem_sizes
+from repro.analysis.tables import render_table1
+
+
+def test_render_table1_matches_paper_grid():
+    table = render_table1()
+    report(table)
+    # Spot-check the values Table 1 prints.
+    assert "2^19" in table and "2^23" in table
+    assert "64x64" in table and "1024x1024" in table
+    assert "10K" in table and "12K" in table
+    assert "256x288" in table and "1024x576" in table
+    assert "32x32" in table and "128x128" in table
+
+
+@pytest.mark.parametrize("name", sorted(BENCHMARKS))
+def test_workload_generation_benchmark(benchmark, name):
+    """pytest-benchmark: time building each workload's DDM program."""
+    bench = get_benchmark(name)
+    size = problem_sizes(name, "S")["small"]
+
+    def build():
+        return bench.build(size, unroll=8, max_threads=512)
+
+    program = benchmark(build)
+    assert program.ninstances >= 1

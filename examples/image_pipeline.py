@@ -1,0 +1,129 @@
+#!/usr/bin/env python
+"""A multi-phase image-processing pipeline on TFlux (SUSAN-style).
+
+The paper's SUSAN workload motivates this shape: distinct phases, each
+internally parallel across row bands, with dataflow (not barrier!)
+dependencies where bands only need their neighbours.  This example builds
+a sharpen-then-threshold pipeline where phase 2 depends on phase 1 only
+through the neighbouring bands — the Synchronization Graph encodes the
+halo exchange, so band ``i`` of phase 2 fires as soon as bands
+``i-1, i, i+1`` of phase 1 completed, without a global barrier.
+
+Run it to see per-phase overlap in the kernel statistics: with dataflow
+arcs the phases pipeline; with "all" arcs they serialise.
+"""
+
+import numpy as np
+
+from repro.frontend import DDM
+from repro.platforms import TFluxHard
+
+H, W = 256, 256
+BANDS = 16
+ROWS = H // BANDS
+
+
+def build(dataflow: bool) -> "DDM":
+    ddm = DDM(f"pipeline-{'dataflow' if dataflow else 'barrier'}")
+    y, x = np.mgrid[0:H, 0:W]
+    ddm.env.adopt("img", np.sin(x / 7.0) * np.cos(y / 5.0) * 127 + 128)
+    ddm.env.alloc("sharp", (H, W))
+    ddm.env.alloc("mask", (H, W), dtype=np.uint8)
+
+    # Band costs are deliberately skewed (later bands are "busier", as if
+    # the interesting content sits at the bottom of the frame): under a
+    # barrier, phase 2 waits for the slowest band; with halo arcs the top
+    # bands of phase 2 start while the bottom of phase 1 still runs.
+    @ddm.thread(contexts=BANDS, cost=lambda env, i: ROWS * W * 10 * (1 + i))
+    def sharpen(env, i):
+        img = env.array("img")
+        lo, hi = i * ROWS, (i + 1) * ROWS
+        out = env.array("sharp")
+        for r in range(lo, hi):
+            up = img[max(r - 1, 0)]
+            down = img[min(r + 1, H - 1)]
+            out[r] = np.clip(2.0 * img[r] - 0.5 * (up + down), 0, 255)
+
+    if dataflow:
+        # Band i of phase 2 needs bands i-1, i, i+1 of phase 1.
+        def halo(producer_ctx):
+            return [
+                c
+                for c in (producer_ctx - 1, producer_ctx, producer_ctx + 1)
+                if 0 <= c < BANDS
+            ]
+
+        deps = [(sharpen, halo)]
+    else:
+        deps = [(sharpen, "all")]
+
+    # Placement hint: all threshold work goes to the kernels that did NOT
+    # draw the heaviest sharpen band.  Under a barrier those kernels sit
+    # idle until the heaviest band finishes, then do all of phase 2 on the
+    # critical path; with halo arcs they start phase 2 as soon as their
+    # producers are done, hiding it under the long sharpen tail.
+    def off_critical_affinity(ctx, nkernels):
+        return ctx % max(1, nkernels - 1)
+
+    @ddm.thread(
+        contexts=BANDS,
+        depends=deps,
+        cost=lambda env, i: ROWS * W * 60,
+        affinity=off_critical_affinity,
+    )
+    def threshold(env, i):
+        lo, hi = i * ROWS, (i + 1) * ROWS
+        sharp = env.array("sharp")
+        env.array("mask")[lo:hi] = (sharp[lo:hi] > 128).astype(np.uint8)
+
+    return ddm
+
+
+def oracle() -> np.ndarray:
+    y, x = np.mgrid[0:H, 0:W]
+    img = np.sin(x / 7.0) * np.cos(y / 5.0) * 127 + 128
+    sharp = np.empty_like(img)
+    for r in range(H):
+        up = img[max(r - 1, 0)]
+        down = img[min(r + 1, H - 1)]
+        sharp[r] = np.clip(2.0 * img[r] - 0.5 * (up + down), 0, 255)
+    return (sharp > 128).astype(np.uint8)
+
+
+def main() -> None:
+    from repro.runtime.simdriver import SimulatedRuntime
+    from repro.tsu.hardware import HardwareTSUAdapter
+    from repro.tsu.policy import round_robin_placement
+
+    expected = oracle()
+    platform = TFluxHard()
+    print(f"{'variant':<10} {'kernels':>7} {'cycles':>12} {'correct':>8}")
+    gains = []
+    for nk in (2, 4, 8):
+        cycles = {}
+        for dataflow in (False, True):
+            prog = build(dataflow).build()
+            # Round-robin placement spreads the skewed bands over kernels,
+            # letting the halo arcs (not load imbalance) decide the result.
+            result = SimulatedRuntime(
+                prog,
+                platform.machine,
+                nkernels=nk,
+                adapter_factory=lambda e, t: HardwareTSUAdapter(e, t),
+                placement=round_robin_placement,
+            ).run()
+            ok = np.array_equal(result.env.array("mask"), expected)
+            tag = "dataflow" if dataflow else "barrier"
+            cycles[dataflow] = result.cycles
+            print(f"{tag:<10} {nk:>7} {result.cycles:>12,} {'OK' if ok else 'BAD':>8}")
+        gains.append(cycles[False] / cycles[True])
+    print(
+        "\nDataflow (halo-arc) vs barrier gain per kernel count: "
+        + ", ".join(f"{g:.2f}x" for g in gains)
+        + "\nPhase-2 bands start while phase 1 is still running on the slow"
+        "\nbands — the scheduling freedom DDM exists to exploit."
+    )
+
+
+if __name__ == "__main__":
+    main()

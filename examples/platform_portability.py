@@ -1,0 +1,44 @@
+#!/usr/bin/env python
+"""The paper's headline demonstration: one DDM binary, three platforms.
+
+Builds MMULT from the benchmark suite and runs the *same* program
+definition on TFluxHard (27-kernel CMP with a hardware TSU), TFluxSoft
+(6-kernel Xeon with a software TSU emulator) and TFluxCell (6 SPEs, PPE
+TSU, Local Stores + DMA), then prints the per-platform speedup curve —
+a miniature of Figures 5-7.
+"""
+
+from repro.apps import get_benchmark, problem_sizes
+from repro.platforms import TFluxCell, TFluxHard, TFluxSoft
+
+
+def main() -> None:
+    bench = get_benchmark("mmult")
+    platforms = [TFluxHard(), TFluxSoft(), TFluxCell()]
+
+    for platform in platforms:
+        size = problem_sizes("mmult", platform.target)["small"]
+        counts = [k for k in (2, 4, 8, 16, 27) if k <= platform.max_kernels]
+        print(f"\n{platform.name} — MMULT {size} (best over unroll 1..64)")
+        print(f"  {'kernels':>7} {'speedup':>8} {'unroll':>7} {'cycles':>14}")
+        for nk in counts:
+            ev = platform.evaluate(
+                bench, size, nkernels=nk,
+                unrolls=(1, 4, 16, 64), verify=(nk == counts[0]),
+                max_threads=1024,
+            )
+            print(
+                f"  {nk:>7} {ev.speedup:>8.2f} {ev.best_unroll:>7} "
+                f"{ev.parallel_cycles:>14,}"
+            )
+
+    print(
+        "\nSame program object, three machines — the hardware TSU needs no"
+        "\nunrolling, the software TSUs prefer coarser DThreads (larger best"
+        "\nunroll), and the Cell pays DMA/mailbox costs on top: the paper's"
+        "\n§6.2.2/§6.3 granularity story."
+    )
+
+
+if __name__ == "__main__":
+    main()

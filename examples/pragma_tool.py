@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""DDMCPP tool demo: preprocess a pragma-annotated source file end to end.
+
+Writes a small DDM source program (a blocked reduction with a dependence
+tree, exercising context maps and C control flow), emits the generated
+Python module to ``/tmp/ddm_generated.py`` for inspection, then executes
+the program sequentially and on the simulated TFluxHard platform.
+"""
+
+from pathlib import Path
+
+from repro.platforms import TFluxHard
+from repro.preprocessor import compile_to_program, emit_module
+
+SOURCE = """
+#pragma ddm startprogram name(tree_reduce)
+#pragma ddm var double leaves[32]
+#pragma ddm var double level1[8]
+#pragma ddm var double result
+
+#pragma ddm prologue
+  result = 0;
+#pragma ddm endprologue
+
+#pragma ddm thread 1 context(32)
+  /* Each leaf computes a partial value; sqrt to make it non-trivial. */
+  leaves[CTX] = sqrt((CTX + 1) * 1.0);
+#pragma ddm endthread
+
+#pragma ddm thread 2 context(8) depends(1 map(CTX / 4))
+  /* Each level-1 node sums its four leaves. */
+  int i;
+  double acc = 0;
+  for (i = 4 * CTX; i < 4 * CTX + 4; i++) {
+    acc = acc + leaves[i];
+  }
+  level1[CTX] = acc;
+#pragma ddm endthread
+
+#pragma ddm thread 3 depends(2 all)
+  int i;
+  double acc = 0;
+  for (i = 0; i < 8; i++) acc = acc + level1[i];
+  result = acc;
+#pragma ddm endthread
+#pragma ddm endprogram
+"""
+
+
+def main() -> None:
+    out = Path("/tmp/ddm_generated.py")
+    out.write_text(emit_module(SOURCE))
+    print(f"generated module written to {out} ({len(out.read_text())} bytes)")
+    print("-" * 60)
+    print("\n".join(out.read_text().splitlines()[:25]))
+    print("... (truncated)")
+    print("-" * 60)
+
+    env = compile_to_program(SOURCE).run_sequential()
+    expected = sum((i + 1) ** 0.5 for i in range(32))
+    print(f"sequential result = {env.get('result'):.6f} (expect {expected:.6f})")
+
+    prog = compile_to_program(SOURCE)
+    result = TFluxHard().execute(prog, nkernels=8)
+    print(
+        f"tfluxhard (8 kernels) result = {result.env.get('result'):.6f} "
+        f"in {result.cycles:,} cycles"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,4 @@
+"""Legacy setup shim (the environment lacks the wheel package needed for PEP-517 editable installs)."""
+from setuptools import setup
+
+setup()

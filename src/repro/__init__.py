@@ -1,0 +1,68 @@
+"""TFlux: a portable platform for Data-Driven Multithreading — full Python
+reproduction of Stavrou et al., ICPP 2008.
+
+Quick start
+-----------
+>>> from repro.frontend import DDM
+>>> from repro.platforms import TFluxHard
+>>> ddm = DDM("hello")
+>>> _ = ddm.env.alloc("parts", 4)
+>>> @ddm.thread(contexts=4)
+... def work(env, i):
+...     env.array("parts")[i] = i + 1
+>>> @ddm.thread(depends=[(work, "all")])
+... def total(env, _):
+...     env.set("total", float(env.array("parts").sum()))
+>>> result = TFluxHard().execute(ddm.build(), nkernels=4)
+>>> result.env.get("total")
+10.0
+
+Package layout
+--------------
+``repro.core``
+    The DDM model: DThreads, the Synchronization Graph, DDM Blocks with
+    Inlet/Outlet threads, programs and environments.
+``repro.tsu``
+    The Thread Synchronization Unit: the shared TSU Group state machine,
+    the TFluxSoft structures (SM / TKT / TUB), and per-platform protocol
+    cost adapters.
+``repro.runtime``
+    Runtime Support: the Kernel loop on the simulated machines and a real
+    ``threading``-based native backend.
+``repro.sim``
+    The full-system simulator substrate: DES engine, MESI cache models,
+    bus/MMI, machine configurations.
+``repro.cell``
+    The Cell/BE substrate: Local Stores, DMA, mailboxes, CommandBuffers.
+``repro.platforms``
+    TFluxHard / TFluxSoft / TFluxCell.
+``repro.preprocessor`` / ``repro.frontend``
+    The DDMCPP tool-chain (``#pragma ddm`` C subset → Python) and the
+    decorator API.
+``repro.apps``
+    The five Table-1 workloads with cost models and oracles.
+``repro.analysis``
+    Figure sweeps, table renderers, paper reference data.
+"""
+
+from repro.core import DDMProgram, Environment, ProgramBuilder
+from repro.frontend import DDM
+from repro.platforms import Platform, TFluxCell, TFluxHard, TFluxSoft
+from repro.runtime import NativeRuntime, RunResult, SimulatedRuntime
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DDM",
+    "DDMProgram",
+    "Environment",
+    "ProgramBuilder",
+    "Platform",
+    "TFluxHard",
+    "TFluxSoft",
+    "TFluxCell",
+    "NativeRuntime",
+    "SimulatedRuntime",
+    "RunResult",
+    "__version__",
+]

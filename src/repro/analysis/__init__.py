@@ -1,0 +1,26 @@
+"""Evaluation analysis: paper reference data, sweeps, and renderers.
+
+* :mod:`repro.analysis.calibration` — every reference value legible in the
+  paper's Figures 5–7 and the headline averages, for paper-vs-measured
+  comparison in ``EXPERIMENTS.md``;
+* :mod:`repro.analysis.speedup` — the sweep drivers that regenerate each
+  figure's grid (benchmark × kernels × problem size);
+* :mod:`repro.analysis.tables` — ASCII renderers producing the same rows
+  and series the paper reports.
+"""
+
+from repro.analysis.calibration import PAPER
+from repro.analysis.runstats import Measurement, measure_native, summarize
+from repro.analysis.speedup import FigureGrid, sweep_figure
+from repro.analysis.tables import render_grid, render_table1
+
+__all__ = [
+    "PAPER",
+    "FigureGrid",
+    "sweep_figure",
+    "render_grid",
+    "render_table1",
+    "Measurement",
+    "measure_native",
+    "summarize",
+]

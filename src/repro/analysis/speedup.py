@@ -1,0 +1,76 @@
+"""Sweep drivers regenerating the paper's figures.
+
+A *figure grid* is the paper's measurement matrix: benchmarks × kernel
+counts × problem sizes, each cell holding the best-over-unrolls speedup
+(the §5 protocol implemented by
+:meth:`repro.platforms.base.Platform.evaluate`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.apps import get_benchmark, problem_sizes
+from repro.platforms.base import Evaluation, Platform
+
+__all__ = ["FigureGrid", "sweep_figure"]
+
+
+@dataclass
+class FigureGrid:
+    """Results of one figure's sweep."""
+
+    platform: str
+    benches: list[str]
+    kernel_counts: list[int]
+    sizes: list[str]
+    #: (bench, nkernels, size_label) -> Evaluation
+    cells: dict[tuple[str, int, str], Evaluation] = field(default_factory=dict)
+
+    def speedup(self, bench: str, nkernels: int, size: str) -> float:
+        return self.cells[(bench, nkernels, size)].speedup
+
+    def get(self, bench: str, nkernels: int, size: str) -> Optional[Evaluation]:
+        return self.cells.get((bench, nkernels, size))
+
+    def average(self, nkernels: int, size: str = "large") -> float:
+        values = [
+            self.cells[(b, nkernels, size)].speedup
+            for b in self.benches
+            if (b, nkernels, size) in self.cells
+        ]
+        return sum(values) / len(values) if values else 0.0
+
+
+def sweep_figure(
+    platform: Platform,
+    benches: Sequence[str],
+    kernel_counts: Sequence[int],
+    sizes: Sequence[str] = ("small", "medium", "large"),
+    unrolls: Sequence[int] = (1, 2, 4, 8, 16, 32, 64),
+    verify: bool = False,
+    max_threads: int = 2048,
+) -> FigureGrid:
+    """Run the full grid of one figure on *platform*."""
+    grid = FigureGrid(
+        platform=platform.name,
+        benches=list(benches),
+        kernel_counts=list(kernel_counts),
+        sizes=list(sizes),
+    )
+    for bench_name in benches:
+        bench = get_benchmark(bench_name)
+        size_grid = problem_sizes(bench_name, platform.target)
+        for size_label in sizes:
+            size = size_grid[size_label]
+            for nk in kernel_counts:
+                grid.cells[(bench_name, nk, size_label)] = platform.evaluate(
+                    bench,
+                    size,
+                    nkernels=nk,
+                    unrolls=unrolls,
+                    verify=verify,
+                    max_threads=max_threads,
+                )
+    return grid

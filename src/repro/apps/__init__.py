@@ -1,0 +1,36 @@
+"""The paper's experimental workload (Table 1).
+
+Five benchmarks, each provided as (a) a plain sequential reference
+implementation, (b) a DDM decomposition built with
+:class:`~repro.core.builder.ProgramBuilder` — real NumPy bodies plus the
+compute-cost and access-summary declarations the timing layer prices —
+and (c) the paper's problem-size grid:
+
+========  ========  =======================================================
+TRAPEZ    kernel    trapezoidal integration, 2^k intervals (k=19/21/23)
+MMULT     kernel    dense matrix multiply (64..256 simulated, 256..1024 native)
+QSORT     MiBench   chunk sort + two-level merge tree (10K..50K, 3K..12K Cell)
+SUSAN     MiBench   image smoothing in three phases (256x288..1024x576)
+FFT       NAS       2-D FFT over an NxN complex matrix in two barrier phases
+========  ========  =======================================================
+
+Every app exposes ``build(size, unroll) -> DDMProgram``, ``reference`` /
+``verify`` helpers, and registers itself in :data:`BENCHMARKS`.
+"""
+
+from repro.apps.common import (
+    BENCHMARKS,
+    CostConstants,
+    ProblemSize,
+    get_benchmark,
+    problem_sizes,
+)
+from repro.apps import trapez, mmult, qsort, susan, fft  # noqa: F401 (registration)
+
+__all__ = [
+    "BENCHMARKS",
+    "CostConstants",
+    "ProblemSize",
+    "get_benchmark",
+    "problem_sizes",
+]

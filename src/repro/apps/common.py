@@ -1,0 +1,151 @@
+"""Shared workload infrastructure: size grid, cost constants, registry.
+
+Problem sizes follow Table 1 of the paper, including the per-target
+variants ("To avoid too short times for the native execution, for one of
+the benchmarks, MMULT, we needed to use larger problem sizes" — and QSORT
+uses smaller inputs on the Cell because of the 256 KB Local Store).
+
+Cost constants translate element-level work into CPU cycles.  They are
+single-issue-2008-core magnitudes; only their ratios to the runtime
+overhead constants matter for the reproduced shapes, and the unrolling
+ablation sweeps that ratio explicitly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, Protocol
+
+from repro.core.program import DDMProgram
+
+__all__ = [
+    "CostConstants",
+    "ProblemSize",
+    "Benchmark",
+    "BENCHMARKS",
+    "register",
+    "get_benchmark",
+    "problem_sizes",
+    "chunk_bounds",
+    "nthreads_for",
+]
+
+SIZE_LABELS = ("small", "medium", "large")
+#: Targets as in Table 1: S = simulated (TFluxHard), N = native (TFluxSoft),
+#: C = Cell (TFluxCell).
+TARGETS = ("S", "N", "C")
+
+
+@dataclass(frozen=True)
+class CostConstants:
+    """Cycles per element-level operation (see module docstring)."""
+
+    trapez_interval: int = 12  # f(x) evaluation + accumulate (incl. fdiv)
+    mmult_mac: int = 5  # one inner-loop multiply-accumulate step
+    # (two loads + fmul + fadd + index bookkeeping on an in-order core)
+    sort_cmp: int = 60  # one libc qsort() step: indirect cmp call on
+    # string keys (MiBench qsort sorts strings), swap, partition bookkeeping
+    merge_elem: int = 3  # one element through one k-way merge level (streaming)
+    susan_init_pix: int = 8  # synthetic image generation per pixel
+    susan_proc_pix: int = 60  # USAN window / smoothing per pixel
+    susan_out_pix: int = 6  # result write-out per pixel
+    fft_butterfly: int = 16  # one complex butterfly
+
+
+COSTS = CostConstants()
+
+
+@dataclass(frozen=True)
+class ProblemSize:
+    """One cell of Table 1: benchmark x target x size label."""
+
+    bench: str
+    target: str
+    label: str
+    params: dict
+
+    def __str__(self) -> str:
+        inner = ", ".join(f"{k}={v}" for k, v in self.params.items())
+        return f"{self.bench}/{self.target}/{self.label}({inner})"
+
+
+class Benchmark(Protocol):
+    """What every app module registers."""
+
+    name: str
+
+    def build(self, size: ProblemSize, unroll: int = 1) -> DDMProgram: ...
+
+    def verify(self, env, size: ProblemSize) -> None: ...
+
+
+BENCHMARKS: Dict[str, "Benchmark"] = {}
+
+#: Table 1, encoded.  params are app-specific.
+_SIZES: Dict[str, Dict[str, Dict[str, dict]]] = {
+    "trapez": {
+        t: {"small": {"k": 19}, "medium": {"k": 21}, "large": {"k": 23}}
+        for t in TARGETS
+    },
+    "mmult": {
+        "S": {"small": {"n": 64}, "medium": {"n": 128}, "large": {"n": 256}},
+        "N": {"small": {"n": 256}, "medium": {"n": 512}, "large": {"n": 1024}},
+        "C": {"small": {"n": 256}, "medium": {"n": 512}, "large": {"n": 1024}},
+    },
+    "qsort": {
+        "S": {"small": {"n": 10_000}, "medium": {"n": 20_000}, "large": {"n": 50_000}},
+        "N": {"small": {"n": 10_000}, "medium": {"n": 20_000}, "large": {"n": 50_000}},
+        "C": {"small": {"n": 3_000}, "medium": {"n": 6_000}, "large": {"n": 12_000}},
+    },
+    "susan": {
+        t: {
+            "small": {"w": 256, "h": 288},
+            "medium": {"w": 512, "h": 576},
+            "large": {"w": 1024, "h": 576},
+        }
+        for t in TARGETS
+    },
+    "fft": {
+        t: {"small": {"n": 32}, "medium": {"n": 64}, "large": {"n": 128}}
+        for t in TARGETS
+    },
+}
+
+
+def register(bench: "Benchmark") -> "Benchmark":
+    BENCHMARKS[bench.name] = bench
+    return bench
+
+
+def get_benchmark(name: str) -> "Benchmark":
+    return BENCHMARKS[name]
+
+
+def problem_sizes(bench: str, target: str = "S") -> Dict[str, ProblemSize]:
+    """The S/M/L grid of one benchmark for one target platform."""
+    table = _SIZES[bench][target]
+    return {
+        label: ProblemSize(bench, target, label, dict(params))
+        for label, params in table.items()
+    }
+
+
+# -- decomposition helpers -----------------------------------------------------
+def nthreads_for(base_iterations: int, unroll: int) -> int:
+    """DThread count for a parallel loop of *base_iterations* units.
+
+    The paper's unroll factor makes each DThread *unroll* times coarser;
+    we never go below one thread.
+    """
+    if unroll < 1:
+        raise ValueError("unroll must be >= 1")
+    return max(1, math.ceil(base_iterations / unroll))
+
+
+def chunk_bounds(total: int, nchunks: int, i: int) -> tuple[int, int]:
+    """Balanced [lo, hi) bounds of chunk *i* of *total* items."""
+    base, rem = divmod(total, nchunks)
+    lo = i * base + min(i, rem)
+    hi = lo + base + (1 if i < rem else 0)
+    return lo, hi

@@ -1,0 +1,182 @@
+"""SUSAN — image recognition / smoothing (MiBench, Table 1).
+
+"SUSAN has three distinct phases which have been parallelized
+independently, the initialization phase, the processing phase and the one
+during which the results are written to a large output array" (§6.1.2).
+
+We reproduce exactly that structure over a synthetic grayscale image:
+
+* ``init[r]`` — generate the image rows (a deterministic pattern standing
+  in for the MiBench input frame, which we do not ship);
+* ``smooth[r]`` — brightness-weighted 3x3 smoothing (the USAN-style
+  kernel: neighbours similar in brightness to the centre get full weight,
+  dissimilar ones are attenuated — SUSAN's core idea);
+* ``output[r]`` — quantise the smoothed rows into the 8-bit output array.
+
+Phases are separated by "all" arcs (the paper's independently-parallelised
+phases imply barriers); rows are chunked by the unroll factor.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps import common
+from repro.apps.common import COSTS, ProblemSize, chunk_bounds
+from repro.core.builder import ProgramBuilder
+from repro.core.program import DDMProgram
+from repro.sim.accesses import AccessSummary
+
+__all__ = ["Susan", "synthetic_image", "smooth_oracle"]
+
+#: Brightness-similarity threshold of the USAN weighting.
+BRIGHTNESS_T = 20.0
+
+
+def synthetic_image(w: int, h: int) -> np.ndarray:
+    """Deterministic test frame: smooth gradients plus sharp structures."""
+    y, x = np.mgrid[0:h, 0:w]
+    img = (
+        96.0
+        + 64.0 * np.sin(2 * np.pi * x / 64.0)
+        + 48.0 * np.cos(2 * np.pi * y / 48.0)
+    )
+    img += np.where((x // 32 + y // 32) % 2 == 0, 40.0, -40.0)  # checkers (edges)
+    return np.clip(img, 0.0, 255.0)
+
+
+def _smooth_rows(img: np.ndarray, lo: int, hi: int) -> np.ndarray:
+    """USAN-weighted 3x3 mean of rows [lo, hi) with edge clamping."""
+    h, w = img.shape
+    # Build a (hi-lo+2, w+2) window around the rows, clamped at the edges.
+    top = max(lo - 1, 0)
+    bot = min(hi + 1, h)
+    win = np.pad(img[top:bot], ((0, 0), (1, 1)), mode="edge")
+    if lo == 0:
+        win = np.vstack([win[:1], win])
+    if hi == h:
+        win = np.vstack([win, win[-1:]])
+    centre = win[1:-1, 1:-1]
+    num = np.zeros_like(centre)
+    den = np.zeros_like(centre)
+    for dy in (-1, 0, 1):
+        for dx in (-1, 0, 1):
+            nb = win[1 + dy:win.shape[0] - 1 + dy, 1 + dx:win.shape[1] - 1 + dx]
+            wgt = np.exp(-((nb - centre) / BRIGHTNESS_T) ** 2)
+            num += wgt * nb
+            den += wgt
+    return num / den
+
+
+def smooth_oracle(img: np.ndarray) -> np.ndarray:
+    """Whole-image smoothing (test oracle)."""
+    return _smooth_rows(img, 0, img.shape[0])
+
+
+class Susan:
+    name = "susan"
+
+    def build(
+        self, size: ProblemSize, unroll: int = 1, max_threads: int = 4096
+    ) -> DDMProgram:
+        w, h = size.params["w"], size.params["h"]
+        nthreads = min(common.nthreads_for(h, unroll), max_threads, h)
+
+        b = ProgramBuilder(f"susan[{size.label}]")
+        b.env.alloc("img", (h, w))
+        b.env.alloc("sm", (h, w))
+        b.env.alloc("out", (h, w), dtype=np.uint8)
+        reg_img, reg_sm, reg_out = (b.env.region(x) for x in ("img", "sm", "out"))
+        b.env.set("w", w)
+        b.env.set("h", h)
+
+        def rows(i):
+            return chunk_bounds(h, nthreads, i)
+
+        # -- phase 1: init -------------------------------------------------------
+        full = synthetic_image(w, h)  # closed over; rows copied per thread
+
+        def init_body(env, i):
+            lo, hi = rows(i)
+            env.array("img")[lo:hi] = full[lo:hi]
+
+        def init_cost(env, i):
+            lo, hi = rows(i)
+            return (hi - lo) * w * COSTS.susan_init_pix
+
+        def init_accesses(env, i):
+            lo, hi = rows(i)
+            return AccessSummary().write(
+                reg_img, offset=lo * w * 8, count=(hi - lo) * w, resident=False
+            )
+
+        t_init = b.thread(
+            "init", body=init_body, contexts=nthreads, cost=init_cost,
+            accesses=init_accesses,
+        )
+
+        # -- phase 2: smoothing -----------------------------------------------------
+        def smooth_body(env, i):
+            lo, hi = rows(i)
+            env.array("sm")[lo:hi] = _smooth_rows(env.array("img"), lo, hi)
+
+        def smooth_cost(env, i):
+            lo, hi = rows(i)
+            return (hi - lo) * w * COSTS.susan_proc_pix
+
+        def smooth_accesses(env, i):
+            lo, hi = rows(i)
+            rlo, rhi = max(lo - 1, 0), min(hi + 1, h)
+            s = AccessSummary()
+            # Row-sequential with a one-row halo: streamable on scratchpads.
+            s.read(reg_img, offset=rlo * w * 8, count=(rhi - rlo) * w, resident=False)
+            s.write(reg_sm, offset=lo * w * 8, count=(hi - lo) * w, resident=False)
+            return s
+
+        t_smooth = b.thread(
+            "smooth", body=smooth_body, contexts=nthreads, cost=smooth_cost,
+            accesses=smooth_accesses,
+        )
+        b.depends(t_init, t_smooth, "all")
+
+        # -- phase 3: write-out --------------------------------------------------------
+        def out_body(env, i):
+            lo, hi = rows(i)
+            env.array("out")[lo:hi] = np.clip(
+                np.rint(env.array("sm")[lo:hi]), 0, 255
+            ).astype(np.uint8)
+
+        def out_cost(env, i):
+            lo, hi = rows(i)
+            return (hi - lo) * w * COSTS.susan_out_pix
+
+        def out_accesses(env, i):
+            lo, hi = rows(i)
+            s = AccessSummary()
+            s.read(reg_sm, offset=lo * w * 8, count=(hi - lo) * w, resident=False)
+            s.write(
+                reg_out, offset=lo * w, count=(hi - lo) * w, elem_size=1,
+                stride=1, resident=False,
+            )
+            return s
+
+        t_out = b.thread(
+            "output", body=out_body, contexts=nthreads, cost=out_cost,
+            accesses=out_accesses,
+        )
+        b.depends(t_smooth, t_out, "all")
+        return b.build()
+
+    def verify(self, env, size: ProblemSize) -> None:
+        w, h = size.params["w"], size.params["h"]
+        img = synthetic_image(w, h)
+        np.testing.assert_allclose(env.array("img"), img, atol=1e-12)
+        expected = smooth_oracle(img)
+        np.testing.assert_allclose(env.array("sm"), expected, rtol=1e-9, atol=1e-9)
+        np.testing.assert_array_equal(
+            env.array("out"),
+            np.clip(np.rint(expected), 0, 255).astype(np.uint8),
+        )
+
+
+common.register(Susan())

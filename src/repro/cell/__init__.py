@@ -1,0 +1,35 @@
+"""Cell/BE substrate for TFluxCell.
+
+The Cell Broadband Engine (paper §4.3) is a heterogeneous chip: one PPE
+(general-purpose core, runs the OS and the TSU Emulator) and SPEs (SIMD
+cores with *no* caches — each has a 256 KB Local Store fed explicitly by
+DMA).  TFluxCell maps Kernels onto SPEs and communicates through:
+
+* a per-SPE 128-byte **CommandBuffer** in main memory (kernel → TSU),
+* SPE **mailboxes** (TSU → kernel: the id of the next ready DThread),
+* a **SharedVariableBuffer** through which DThread outputs are exported
+  and inputs imported (DMA to/from the Local Store).
+
+Modules: :mod:`~repro.cell.localstore` (capacity accounting — the reason
+QSORT's large inputs cannot run, §6.3), :mod:`~repro.cell.dma` (transfer
+cost model), :mod:`~repro.cell.mailbox`, :mod:`~repro.cell.commandbuffer`,
+and :mod:`~repro.cell.adapter` (the TFluxCell protocol adapter wiring it
+all to the TSU Group on the DES).
+"""
+
+from repro.cell.localstore import CellLocalStoreError, LocalStore
+from repro.cell.dma import DMAEngine
+from repro.cell.mailbox import Mailbox
+from repro.cell.commandbuffer import CommandBuffer, SharedVariableBuffer
+from repro.cell.adapter import CellTSUAdapter, CellCosts
+
+__all__ = [
+    "CellLocalStoreError",
+    "LocalStore",
+    "DMAEngine",
+    "Mailbox",
+    "CommandBuffer",
+    "SharedVariableBuffer",
+    "CellTSUAdapter",
+    "CellCosts",
+]

@@ -1,0 +1,65 @@
+"""``tflux-run`` — run a Table-1 benchmark on a TFlux platform.
+
+Examples::
+
+    tflux-run trapez --platform hard --kernels 27 --size large
+    tflux-run mmult --platform cell --kernels 6 --size small --unroll 64
+    tflux-run qsort --platform soft --kernels 6 --sweep
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.apps import BENCHMARKS, get_benchmark, problem_sizes
+from repro.platforms import TFluxCell, TFluxHard, TFluxSoft
+
+__all__ = ["main"]
+
+_PLATFORMS = {
+    "hard": TFluxHard,
+    "soft": TFluxSoft,
+    "cell": TFluxCell,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="tflux-run", description="Run a TFlux workload on a platform"
+    )
+    parser.add_argument("benchmark", choices=sorted(BENCHMARKS))
+    parser.add_argument("--platform", choices=sorted(_PLATFORMS), default="hard")
+    parser.add_argument("--kernels", type=int, default=0, help="0 = platform max")
+    parser.add_argument("--size", choices=("small", "medium", "large"), default="small")
+    parser.add_argument("--unroll", type=int, default=0, help="0 = best over grid")
+    parser.add_argument(
+        "--sweep", action="store_true", help="sweep kernel counts 2..max"
+    )
+    args = parser.parse_args(argv)
+
+    platform = _PLATFORMS[args.platform]()
+    bench = get_benchmark(args.benchmark)
+    size = problem_sizes(args.benchmark, platform.target)[args.size]
+    unrolls = (args.unroll,) if args.unroll else (1, 2, 4, 8, 16, 32, 64)
+
+    if args.sweep:
+        counts = [k for k in (2, 4, 8, 16, platform.max_kernels) if k <= platform.max_kernels]
+        counts = sorted(set(counts))
+    else:
+        counts = [args.kernels or platform.max_kernels]
+
+    print(f"{bench.name.upper()} ({size}) on {platform.name}")
+    try:
+        for nk in counts:
+            ev = platform.evaluate(bench, size, nkernels=nk, unrolls=unrolls)
+            print(f"  {ev.row()}")
+    except (ValueError, MemoryError) as exc:
+        import sys
+
+        print(f"tflux-run: error: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,43 @@
+"""The Data-Driven Multithreading (DDM) model — the paper's contribution.
+
+This subpackage defines the machine-independent entities of §2 and §3:
+
+* :class:`~repro.core.dthread.DThreadTemplate` /
+  :class:`~repro.core.dthread.DThreadInstance` — DThreads: non-overlapping
+  code sections executed internally in control-flow order but scheduled in
+  dataflow order.
+* :class:`~repro.core.graph.SynchronizationGraph` — nodes are DThreads,
+  arcs are producer→consumer data dependencies; expansion yields the
+  instance-level graph with Ready Counts.
+* :class:`~repro.core.block.DDMBlock` — subsets of the instance graph that
+  fit in the TSU, each bracketed by an Inlet and an Outlet DThread.
+* :class:`~repro.core.program.DDMProgram` — the complete executable: the
+  ordered blocks plus the shared-data environment.
+* :class:`~repro.core.environment.Environment` — named shared variables and
+  arrays, with the region map that lets the timing layer model their cache
+  behaviour.
+* :class:`~repro.core.builder.ProgramBuilder` — the construction API used
+  by the preprocessor back-end, the decorator front-end, and the apps.
+"""
+
+from repro.core.context import Context, CTX_ALL
+from repro.core.dthread import DThreadInstance, DThreadTemplate, ThreadKind
+from repro.core.environment import Environment
+from repro.core.graph import Arc, SynchronizationGraph
+from repro.core.block import DDMBlock
+from repro.core.program import DDMProgram
+from repro.core.builder import ProgramBuilder
+
+__all__ = [
+    "Context",
+    "CTX_ALL",
+    "DThreadInstance",
+    "DThreadTemplate",
+    "ThreadKind",
+    "Environment",
+    "Arc",
+    "SynchronizationGraph",
+    "DDMBlock",
+    "DDMProgram",
+    "ProgramBuilder",
+]

@@ -1,0 +1,130 @@
+"""Fluent construction API for DDM programs.
+
+:class:`ProgramBuilder` is the single entry point used by
+
+* the application kernels in :mod:`repro.apps`,
+* the preprocessor back-end (:mod:`repro.preprocessor.backend`), which
+  turns ``#pragma ddm`` directives into builder calls, and
+* the decorator front-end (:mod:`repro.frontend`).
+
+Example
+-------
+>>> from repro.core import ProgramBuilder
+>>> b = ProgramBuilder("sum2")
+>>> parts = b.env.alloc("parts", 2)
+>>> t_add = b.thread("add", body=lambda env, i: env.array("parts").__setitem__(i, i + 1),
+...                  contexts=range(2))
+>>> t_tot = b.thread("total", body=lambda env, _:
+...                  env.set("total", float(env.array("parts").sum())))
+>>> _ = b.depends(t_add, t_tot, mapping="all")
+>>> prog = b.build()
+>>> prog.run_sequential().get("total")
+3.0
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Optional, Sequence, Union
+
+from repro.core.context import Context
+from repro.core.dthread import DThreadTemplate, ThreadKind
+from repro.core.environment import Environment
+from repro.core.graph import SynchronizationGraph
+from repro.core.program import DDMProgram, SequentialSection
+
+__all__ = ["ProgramBuilder"]
+
+TemplateRef = Union[int, DThreadTemplate]
+
+
+class ProgramBuilder:
+    """Accumulates templates, arcs and sequential sections into a program."""
+
+    def __init__(self, name: str, env: Optional[Environment] = None) -> None:
+        self.name = name
+        self.env = env if env is not None else Environment()
+        self.graph = SynchronizationGraph()
+        self._next_tid = 1
+        self._prologue: list[SequentialSection] = []
+        self._epilogue: list[SequentialSection] = []
+
+    # -- threads -----------------------------------------------------------
+    def thread(
+        self,
+        name: str,
+        body: Optional[Callable[[Environment, Context], None]] = None,
+        contexts: Union[int, Iterable[Context]] = 1,
+        cost: Optional[Callable[[Environment, Context], int]] = None,
+        accesses: Optional[Callable[[Environment, Context], Any]] = None,
+        affinity: Optional[Callable[[Context, int], int]] = None,
+        tid: Optional[int] = None,
+    ) -> DThreadTemplate:
+        """Declare a DThread template.
+
+        *contexts* may be an int (trip count, contexts ``0..n-1``) or an
+        explicit iterable of context values.
+        """
+        if tid is None:
+            tid = self._next_tid
+        self._next_tid = max(self._next_tid, tid + 1)
+        if isinstance(contexts, int):
+            ctxs: Sequence[Context] = tuple(range(contexts))
+        else:
+            ctxs = tuple(contexts)
+        tmpl = DThreadTemplate(
+            tid=tid,
+            name=name,
+            body=body,
+            contexts=ctxs,
+            cost=cost,
+            accesses=accesses,
+            kind=ThreadKind.APPLICATION,
+            affinity=affinity,
+        )
+        return self.graph.add_template(tmpl)
+
+    def depends(
+        self,
+        producer: TemplateRef,
+        consumer: TemplateRef,
+        mapping: Union[str, Callable[[Context], Iterable[Context]]] = "same",
+    ):
+        """Declare that *consumer* consumes data produced by *producer*."""
+        p = producer.tid if isinstance(producer, DThreadTemplate) else producer
+        c = consumer.tid if isinstance(consumer, DThreadTemplate) else consumer
+        return self.graph.add_arc(p, c, mapping)
+
+    # -- sequential sections --------------------------------------------------
+    def prologue(
+        self,
+        name: str,
+        body: Optional[Callable[[Environment], None]] = None,
+        cost: Optional[Callable[[Environment], int]] = None,
+        accesses: Optional[Callable[[Environment], Any]] = None,
+    ) -> SequentialSection:
+        section = SequentialSection(name, body, cost, accesses)
+        self._prologue.append(section)
+        return section
+
+    def epilogue(
+        self,
+        name: str,
+        body: Optional[Callable[[Environment], None]] = None,
+        cost: Optional[Callable[[Environment], int]] = None,
+        accesses: Optional[Callable[[Environment], Any]] = None,
+    ) -> SequentialSection:
+        section = SequentialSection(name, body, cost, accesses)
+        self._epilogue.append(section)
+        return section
+
+    # -- finish ---------------------------------------------------------------
+    def build(self) -> DDMProgram:
+        """Validate the graph and produce the program object."""
+        self.graph.validate()
+        return DDMProgram(
+            name=self.name,
+            graph=self.graph,
+            env=self.env,
+            prologue=list(self._prologue),
+            epilogue=list(self._epilogue),
+        )

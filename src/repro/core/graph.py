@@ -1,0 +1,200 @@
+"""The Synchronization Graph and its instance-level expansion.
+
+"The dependencies among the DThreads in a DDM program are expressed by its
+Synchronization Graph, the nodes of which correspond to the program's
+DThreads while its arcs to data dependencies between them" (paper §2).
+
+Arcs connect *templates* with a context mapping describing which dynamic
+instances depend on which:
+
+``"same"``
+    instance ``(p, ctx)`` feeds ``(c, ctx)`` — parallel loops in lockstep;
+``"all"``
+    every instance of the producer feeds every instance of the consumer —
+    reductions, barriers and phase changes;
+callable
+    ``mapping(producer_ctx) -> iterable of consumer contexts`` — arbitrary
+    shapes (e.g. the QSORT merge tree).
+
+:meth:`SynchronizationGraph.expand` flattens templates×contexts into dense
+:class:`~repro.core.dthread.DThreadInstance` ids and produces, for each
+instance, its *Ready Count* (number of producer instances) and its
+consumer list — exactly the metadata the Inlet DThread loads into the TSU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional, Union
+
+from repro.core.context import CTX_ALL, Context, normalize_context
+from repro.core.dthread import DThreadInstance, DThreadTemplate
+
+__all__ = ["Arc", "SynchronizationGraph", "ExpandedGraph", "GraphError"]
+
+Mapping = Union[str, Callable[[Context], Iterable[Context]]]
+
+
+class GraphError(ValueError):
+    """Raised for malformed synchronization graphs."""
+
+
+@dataclass(frozen=True)
+class Arc:
+    """A producer→consumer dependence between two templates."""
+
+    producer: int
+    consumer: int
+    mapping: Mapping = "same"
+
+    def consumer_contexts(
+        self, producer_ctx: Context, consumer: DThreadTemplate
+    ) -> list[Context]:
+        if self.mapping == "same":
+            return [producer_ctx]
+        if self.mapping == "all":
+            return list(consumer.contexts)
+        if callable(self.mapping):
+            return [normalize_context(c) for c in self.mapping(producer_ctx)]
+        raise GraphError(f"unknown arc mapping {self.mapping!r}")
+
+
+@dataclass
+class ExpandedGraph:
+    """Instance-level graph: the TSU-loadable metadata."""
+
+    instances: list[DThreadInstance]
+    ready_counts: list[int]
+    consumers: list[list[int]]
+    #: iid of every instance with Ready Count zero (the entry fringe).
+    entry: list[int]
+    #: (template tid, ctx) -> iid
+    index: dict[tuple[int, Context], int]
+
+    @property
+    def ninstances(self) -> int:
+        return len(self.instances)
+
+    def iid_of(self, tid: int, ctx: Context = 0) -> int:
+        return self.index[(tid, normalize_context(ctx))]
+
+    def check_invariants(self) -> None:
+        """Structural sanity: counts match arcs, no dangling consumers."""
+        n = self.ninstances
+        incoming = [0] * n
+        for src, outs in enumerate(self.consumers):
+            for dst in outs:
+                assert 0 <= dst < n, f"dangling consumer {dst} from {src}"
+                incoming[dst] += 1
+        for iid in range(n):
+            assert incoming[iid] == self.ready_counts[iid], (
+                f"instance {iid} ready count {self.ready_counts[iid]} "
+                f"!= incoming arcs {incoming[iid]}"
+            )
+        assert sorted(self.entry) == [
+            iid for iid in range(n) if self.ready_counts[iid] == 0
+        ]
+
+
+class SynchronizationGraph:
+    """Template-level synchronization graph with arc mappings."""
+
+    def __init__(self) -> None:
+        self._templates: dict[int, DThreadTemplate] = {}
+        self._arcs: list[Arc] = []
+
+    # -- construction -------------------------------------------------------
+    def add_template(self, template: DThreadTemplate) -> DThreadTemplate:
+        if template.tid in self._templates:
+            raise GraphError(f"duplicate template id {template.tid}")
+        self._templates[template.tid] = template
+        return template
+
+    def add_arc(
+        self, producer: int, consumer: int, mapping: Mapping = "same"
+    ) -> Arc:
+        for tid in (producer, consumer):
+            if tid not in self._templates:
+                raise GraphError(f"arc references unknown template {tid}")
+        if producer == consumer:
+            raise GraphError("self-dependence arcs are not allowed")
+        arc = Arc(producer, consumer, mapping)
+        self._arcs.append(arc)
+        return arc
+
+    # -- access ------------------------------------------------------------
+    @property
+    def templates(self) -> list[DThreadTemplate]:
+        return [self._templates[tid] for tid in sorted(self._templates)]
+
+    @property
+    def arcs(self) -> list[Arc]:
+        return list(self._arcs)
+
+    def template(self, tid: int) -> DThreadTemplate:
+        return self._templates[tid]
+
+    def __contains__(self, tid: int) -> bool:
+        return tid in self._templates
+
+    # -- validation ----------------------------------------------------------
+    def validate(self) -> None:
+        """Check the template-level graph is a DAG (DDM programs must be:
+        dataflow firing cannot resolve cyclic dependences)."""
+        adj: dict[int, set[int]] = {tid: set() for tid in self._templates}
+        for arc in self._arcs:
+            adj[arc.producer].add(arc.consumer)
+        state: dict[int, int] = {}  # 0=unvisited 1=in-stack 2=done
+
+        def dfs(u: int, stack: list[int]) -> None:
+            state[u] = 1
+            stack.append(u)
+            for v in adj[u]:
+                if state.get(v, 0) == 1:
+                    cycle = stack[stack.index(v):] + [v]
+                    names = " -> ".join(self._templates[t].name for t in cycle)
+                    raise GraphError(f"dependency cycle: {names}")
+                if state.get(v, 0) == 0:
+                    dfs(v, stack)
+            stack.pop()
+            state[u] = 2
+
+        for tid in self._templates:
+            if state.get(tid, 0) == 0:
+                dfs(tid, [])
+
+    # -- expansion ------------------------------------------------------------
+    def expand(self) -> ExpandedGraph:
+        """Flatten to the instance level (Ready Counts + consumer lists)."""
+        self.validate()
+        instances: list[DThreadInstance] = []
+        index: dict[tuple[int, Context], int] = {}
+        for tmpl in self.templates:
+            for ctx in tmpl.contexts:
+                iid = len(instances)
+                instances.append(DThreadInstance(iid, tmpl, ctx))
+                index[(tmpl.tid, ctx)] = iid
+
+        ready = [0] * len(instances)
+        consumers: list[list[int]] = [[] for _ in instances]
+        for arc in self._arcs:
+            prod = self._templates[arc.producer]
+            cons = self._templates[arc.consumer]
+            cons_ctx_set = set(cons.contexts)
+            for pctx in prod.contexts:
+                src = index[(prod.tid, pctx)]
+                for cctx in arc.consumer_contexts(pctx, cons):
+                    if cctx not in cons_ctx_set:
+                        raise GraphError(
+                            f"arc {prod.name}->{cons.name} maps context "
+                            f"{pctx!r} to nonexistent consumer context {cctx!r}"
+                        )
+                    dst = index[(cons.tid, cctx)]
+                    consumers[src].append(dst)
+                    ready[dst] += 1
+
+        entry = [iid for iid in range(len(instances)) if ready[iid] == 0]
+        if not entry and instances:
+            raise GraphError("no entry instances (every instance has producers)")
+        graph = ExpandedGraph(instances, ready, consumers, entry, index)
+        return graph

@@ -1,0 +1,119 @@
+"""The complete DDM program object.
+
+A :class:`DDMProgram` bundles the Synchronization Graph, the shared-data
+:class:`~repro.core.environment.Environment`, and optional sequential
+prologue/epilogue sections (work the original program performs outside the
+parallelised region — e.g. QSORT's array initialisation, which the paper
+discusses as a source of cache hand-off cost in §6.2.2).
+
+Programs are machine-independent; any TFlux platform can execute one — the
+virtualization the paper claims.  ``blocks()`` produces the TSU-capacity
+partition; ``run_sequential()`` executes the whole program in dependency
+order on the calling thread, which is both the correctness oracle for the
+tests and the functional part of the speedup baseline.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.core.block import DDMBlock, split_into_blocks
+from repro.core.environment import Environment
+from repro.core.graph import ExpandedGraph, SynchronizationGraph
+
+__all__ = ["DDMProgram", "SequentialSection"]
+
+
+@dataclass
+class SequentialSection:
+    """A non-parallelised section executed by one core.
+
+    ``cost``/``accesses`` mirror the DThread conventions and price the
+    section in the timing simulation (it runs on a single kernel before or
+    after the dataflow region).
+    """
+
+    name: str
+    body: Optional[Callable[[Environment], None]] = None
+    cost: Optional[Callable[[Environment], int]] = None
+    accesses: Optional[Callable[[Environment], Any]] = None
+
+    def run(self, env: Environment) -> None:
+        if self.body is not None:
+            self.body(env)
+
+    def compute_cost(self, env: Environment) -> int:
+        return int(self.cost(env)) if self.cost is not None else 0
+
+
+@dataclass
+class DDMProgram:
+    """A DDM executable: graph + environment + sequential sections."""
+
+    name: str
+    graph: SynchronizationGraph
+    env: Environment
+    prologue: list[SequentialSection] = field(default_factory=list)
+    epilogue: list[SequentialSection] = field(default_factory=list)
+
+    _expanded: Optional[ExpandedGraph] = field(default=None, init=False, repr=False)
+
+    # -- structure ----------------------------------------------------------
+    def expanded(self, refresh: bool = False) -> ExpandedGraph:
+        """The (cached) instance-level graph."""
+        if self._expanded is None or refresh:
+            self._expanded = self.graph.expand()
+        return self._expanded
+
+    def blocks(self, tsu_capacity: Optional[int] = None) -> list[DDMBlock]:
+        return split_into_blocks(self.expanded(), tsu_capacity)
+
+    @property
+    def ninstances(self) -> int:
+        return self.expanded().ninstances
+
+    # -- execution -----------------------------------------------------------
+    def fire_order(self):
+        """Yield instances in deterministic dataflow order.
+
+        Dataflow firing with a priority queue keyed on instance id — the
+        reference schedule used by both the functional oracle
+        (:meth:`run_sequential`) and the timed sequential baseline
+        (:func:`repro.runtime.simdriver.run_sequential_timed`).  Raises on
+        deadlock (an instance whose producers never fire).
+        """
+        g = self.expanded()
+        ready = list(g.ready_counts)
+        heap = list(g.entry)
+        heapq.heapify(heap)
+        executed = 0
+        while heap:
+            iid = heapq.heappop(heap)
+            yield g.instances[iid]
+            executed += 1
+            for dst in g.consumers[iid]:
+                ready[dst] -= 1
+                if ready[dst] == 0:
+                    heapq.heappush(heap, dst)
+        if executed != g.ninstances:
+            stuck = [g.instances[i].name for i in range(g.ninstances) if ready[i] > 0]
+            raise RuntimeError(
+                f"deadlock: {len(stuck)} instances never fired, e.g. {stuck[:5]}"
+            )
+
+    def run_sequential(self) -> Environment:
+        """Execute everything on the calling thread, in dependency order.
+
+        This is the reference semantics: prologue sections, then every
+        DThread instance in the :meth:`fire_order` schedule, then epilogue
+        sections.  Tests compare platform runs against this oracle.
+        """
+        for section in self.prologue:
+            section.run(self.env)
+        for inst in self.fire_order():
+            inst.template.run(self.env, inst.ctx)
+        for section in self.epilogue:
+            section.run(self.env)
+        return self.env

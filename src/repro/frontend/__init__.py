@@ -1,0 +1,22 @@
+"""Pythonic front-end for writing DDM programs.
+
+The pragma language (:mod:`repro.preprocessor`) is the faithful DDMCPP
+reproduction; this package is the interface a Python user would actually
+want: decorators over ordinary functions.
+
+>>> from repro.frontend import DDM
+>>> ddm = DDM("example")
+>>> parts = ddm.env.alloc("parts", 4)
+>>> @ddm.thread(contexts=4)
+... def work(env, i):
+...     env.array("parts")[i] = i + 1
+>>> @ddm.thread(depends=[(work, "all")])
+... def total(env, _):
+...     env.set("total", float(env.array("parts").sum()))
+>>> ddm.build().run_sequential().get("total")
+10.0
+"""
+
+from repro.frontend.decorators import DDM
+
+__all__ = ["DDM"]

@@ -1,0 +1,21 @@
+"""The three TFlux platform implementations (paper §4).
+
+Each platform pairs a machine configuration with a TSU protocol adapter
+behind the same :class:`~repro.platforms.base.Platform` interface — the
+virtualization claim made concrete: identical DDM programs execute on all
+three.
+
+* :class:`~repro.platforms.hard.TFluxHard` — 27-kernel Bagle CMP,
+  hardware TSU behind the MMI (configurable processing latency);
+* :class:`~repro.platforms.soft.TFluxSoft` — 8-core Xeon, software TSU
+  emulator on a dedicated core (6 compute kernels after the OS core);
+* :class:`~repro.platforms.cellbe.TFluxCell` — PS3 Cell/BE, TSU emulator
+  on the PPE, kernels on up to 6 SPEs with Local Stores and DMA.
+"""
+
+from repro.platforms.base import Platform
+from repro.platforms.hard import TFluxHard
+from repro.platforms.soft import TFluxSoft
+from repro.platforms.cellbe import TFluxCell
+
+__all__ = ["Platform", "TFluxHard", "TFluxSoft", "TFluxCell"]

@@ -1,0 +1,149 @@
+"""The platform interface: one DDM program, any machine.
+
+A :class:`Platform` knows its machine configuration, how many compute
+kernels it can offer, and how to build the protocol adapter that prices
+TSU operations.  ``execute`` runs a program; ``evaluate`` reproduces the
+paper's measurement protocol for one (benchmark, size, kernel count)
+cell: run the sequential baseline and the parallel version — optionally
+taking the best over a set of unroll factors, as §5 prescribes — and
+report the speedup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional, Sequence
+
+from repro.apps.common import Benchmark, ProblemSize
+from repro.core.program import DDMProgram
+from repro.runtime.simdriver import SimulatedRuntime, run_sequential_timed
+from repro.runtime.stats import RunResult
+from repro.sim.engine import Engine
+from repro.sim.machine import MachineConfig
+from repro.tsu.base import ProtocolAdapter
+from repro.tsu.group import TSUGroup
+
+__all__ = ["Platform", "Evaluation"]
+
+
+@dataclass
+class Evaluation:
+    """Result of one paper-style measurement cell."""
+
+    platform: str
+    bench: str
+    size_label: str
+    nkernels: int
+    speedup: float
+    best_unroll: int
+    parallel_cycles: int
+    sequential_cycles: int
+    per_unroll: dict[int, float] = field(default_factory=dict)
+    result: Optional[RunResult] = None
+
+    def row(self) -> str:
+        return (
+            f"{self.bench:>7s} {self.size_label:>6s} "
+            f"kernels={self.nkernels:<3d} speedup={self.speedup:5.2f} "
+            f"(unroll={self.best_unroll})"
+        )
+
+
+class Platform:
+    """Base class for TFluxHard / TFluxSoft / TFluxCell."""
+
+    #: Target letter in Table 1 (S / N / C) — selects problem sizes.
+    target = "S"
+
+    def __init__(self, machine: MachineConfig, name: str) -> None:
+        self.machine = machine
+        self.name = name
+
+    # -- to be provided by the implementations ----------------------------------
+    def adapter_factory(self) -> Callable[[Engine, TSUGroup], ProtocolAdapter]:
+        raise NotImplementedError
+
+    @property
+    def max_kernels(self) -> int:
+        """Compute kernels available on this platform."""
+        return self.machine.max_kernels
+
+    # -- execution ------------------------------------------------------------------
+    def execute(
+        self,
+        program: DDMProgram,
+        nkernels: int,
+        tsu_capacity: Optional[int] = None,
+        exact_memory: bool = False,
+    ) -> RunResult:
+        """Run *program* with *nkernels* Kernels; returns the result."""
+        if nkernels > self.max_kernels:
+            raise ValueError(
+                f"{self.name} offers at most {self.max_kernels} kernels "
+                f"({nkernels} requested)"
+            )
+        runtime = SimulatedRuntime(
+            program,
+            self.machine,
+            nkernels=nkernels,
+            adapter_factory=self.adapter_factory(),
+            tsu_capacity=tsu_capacity,
+            exact_memory=exact_memory,
+            platform_name=self.name,
+        )
+        return runtime.run()
+
+    def sequential_baseline(self, program: DDMProgram) -> RunResult:
+        """The §5 baseline: same machine, one core, no TFlux overheads."""
+        return run_sequential_timed(program, self.machine)
+
+    # -- the paper's measurement protocol ------------------------------------------------
+    def evaluate(
+        self,
+        bench: Benchmark,
+        size: ProblemSize,
+        nkernels: int,
+        unrolls: Sequence[int] = (1, 2, 4, 8, 16, 32, 64),
+        verify: bool = True,
+        max_threads: int = 4096,
+    ) -> Evaluation:
+        """Speedup for one cell, taking the best over *unrolls* for both
+        the parallel and the sequential version (paper §5)."""
+        # Speedup follows the paper's §5 protocol: the measured quantity is
+        # the parallelised region (gettimeofday around the parallel
+        # section); the baseline is the original sequential program on the
+        # same machine.  Both sides take the best over the unroll grid.
+        best: Optional[tuple[float, int, int, int, RunResult]] = None
+        per_unroll: dict[int, float] = {}
+        seq_cycles_best: Optional[int] = None
+        for unroll in unrolls:
+            seq_prog = bench.build(size, unroll=unroll, max_threads=max_threads)
+            seq = self.sequential_baseline(seq_prog)
+            seq_cycles = seq.region_cycles or seq.cycles
+            if seq_cycles_best is None or seq_cycles < seq_cycles_best:
+                seq_cycles_best = seq_cycles
+        assert seq_cycles_best is not None
+        for unroll in unrolls:
+            par_prog = bench.build(size, unroll=unroll, max_threads=max_threads)
+            par = self.execute(par_prog, nkernels=nkernels)
+            if verify:
+                bench.verify(par.env, size)
+            par_cycles = par.region_cycles or par.cycles
+            speedup = seq_cycles_best / par_cycles
+            per_unroll[unroll] = speedup
+            if best is None or speedup > best[0]:
+                best = (speedup, unroll, par_cycles, seq_cycles_best, par)
+        assert best is not None
+        speedup, unroll, pcyc, scyc, result = best
+        return Evaluation(
+            platform=self.name,
+            bench=bench.name,
+            size_label=size.label,
+            nkernels=nkernels,
+            speedup=speedup,
+            best_unroll=unroll,
+            parallel_cycles=pcyc,
+            sequential_cycles=scyc,
+            per_unroll=per_unroll,
+            result=result,
+        )

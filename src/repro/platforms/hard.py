@@ -1,0 +1,39 @@
+"""TFluxHard: the Simics-class simulated CMP with a hardware TSU."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.platforms.base import Platform
+from repro.sim.engine import Engine
+from repro.sim.machine import BAGLE_27, MachineConfig
+from repro.tsu.base import ProtocolAdapter
+from repro.tsu.group import TSUGroup
+from repro.tsu.hardware import HardwareTSUAdapter
+
+__all__ = ["TFluxHard"]
+
+
+class TFluxHard(Platform):
+    """27 compute kernels on the Bagle CMP; TSU Group as a memory-mapped
+    hardware device (paper §4.1, §6.1)."""
+
+    target = "S"
+
+    def __init__(
+        self,
+        machine: MachineConfig = BAGLE_27,
+        tsu_processing_cycles: int = 4,
+    ) -> None:
+        super().__init__(machine, name="tfluxhard")
+        # §6.1.1: "Each access to the TSU is penalized with 4 additional
+        # cycles compared to a normal L1 cache access"; the ablation
+        # sweeps this 1 -> 128.
+        self.tsu_processing_cycles = tsu_processing_cycles
+
+    def adapter_factory(self) -> Callable[[Engine, TSUGroup], ProtocolAdapter]:
+        lat = self.tsu_processing_cycles
+        l1 = self.machine.l1.read_latency
+        return lambda engine, tsu: HardwareTSUAdapter(
+            engine, tsu, tsu_processing_cycles=lat, l1_access_cycles=l1
+        )

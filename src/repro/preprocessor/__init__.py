@@ -1,0 +1,47 @@
+"""DDMCPP — the Data-Driven Multithreading C Preprocessor, retargeted.
+
+The paper's tool-chain (§3.4, [18]) takes "a regular C code program along
+with DDM specific pragma directives and outputs a C program that includes
+all runtime support code and TFlux interface calls".  It is "logically
+divided into two modules, the front-end and the back-end": the front-end
+parses the directives independently of the TFlux implementation; the
+back-end generates target-specific runtime code.
+
+This reproduction keeps that architecture, retargeted at the Python
+runtime:
+
+* **front-end** — :mod:`~repro.preprocessor.directives` recognises the
+  ``#pragma ddm`` lines; :mod:`~repro.preprocessor.lexer` +
+  :mod:`~repro.preprocessor.parser` parse the C-subset thread bodies into
+  the AST of :mod:`~repro.preprocessor.ast_nodes`;
+* **back-end** — :mod:`~repro.preprocessor.cgen` translates bodies into
+  Python functions; :mod:`~repro.preprocessor.backend` assembles the
+  :class:`~repro.core.program.DDMProgram` (or emits a standalone Python
+  module, the analogue of DDMCPP's output C file);
+* **CLI** — :mod:`~repro.preprocessor.cli` provides the ``ddmcpp``
+  command.
+
+Example DDM source::
+
+    #pragma ddm startprogram name(squares)
+    #pragma ddm var double parts[8]
+    #pragma ddm var double total
+
+    #pragma ddm thread 1 context(8)
+      parts[CTX] = CTX * CTX;
+    #pragma ddm endthread
+
+    #pragma ddm thread 2 depends(1 all)
+      int i;
+      total = 0;
+      for (i = 0; i < 8; i++) {
+        total = total + parts[i];
+      }
+    #pragma ddm endthread
+    #pragma ddm endprogram
+"""
+
+from repro.preprocessor.backend import compile_to_program, emit_module
+from repro.preprocessor.errors import DDMSyntaxError
+
+__all__ = ["compile_to_program", "emit_module", "DDMSyntaxError"]

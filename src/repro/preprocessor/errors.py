@@ -1,0 +1,19 @@
+"""Diagnostics for the DDM preprocessor."""
+
+from __future__ import annotations
+
+__all__ = ["DDMSyntaxError"]
+
+
+class DDMSyntaxError(SyntaxError):
+    """A malformed directive or C-subset construct in DDM source.
+
+    Carries the 1-based source line so users can find the offending
+    construct in their ``.ddm`` file.
+    """
+
+    def __init__(self, message: str, line: int | None = None) -> None:
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+        self.line = line

@@ -1,0 +1,28 @@
+"""TFlux Runtime Support.
+
+"The virtualization TFlux provides is mainly due to its Runtime Support.
+The Runtime Support executes on top of an unmodified Operating System"
+(paper §3.1).  Two executions of the same DDM program are provided:
+
+* :mod:`repro.runtime.simdriver` — the timed execution on the simulated
+  machines (the Kernel loop of Figure 2 as DES processes, with a
+  platform-specific protocol adapter pricing every TSU interaction);
+* :mod:`repro.runtime.native` — a real ``threading``-based runtime that
+  executes DThreads on host OS threads with the software-TSU structures
+  (TUB, SM, TKT) and real locks, demonstrating the user-level runtime on
+  a commodity OS exactly as TFluxSoft does.
+
+:mod:`repro.runtime.stats` defines the result records shared by both.
+"""
+
+from repro.runtime.stats import KernelStats, RunResult
+from repro.runtime.simdriver import SimulatedRuntime, run_sequential_timed
+from repro.runtime.native import NativeRuntime
+
+__all__ = [
+    "KernelStats",
+    "RunResult",
+    "SimulatedRuntime",
+    "run_sequential_timed",
+    "NativeRuntime",
+]

@@ -1,0 +1,182 @@
+"""Native threaded runtime: TFluxSoft on the host OS.
+
+This backend runs a DDM program on real OS threads, structured exactly
+like TFluxSoft (paper §4.2): *n* Kernel threads execute DThreads; their
+completion notifications flow through a real, lock-segmented
+:class:`~repro.tsu.tub.ThreadUpdateBuffer`; a dedicated **TSU Emulator
+thread** drains the TUB and performs the Post-Processing Phase against
+the per-kernel Synchronization Memories via the Thread-to-Kernel Table.
+
+It demonstrates the paper's user-level runtime claim — DDM execution on
+an unmodified OS, interleaved with ordinary processes — and computes real
+results.  A CPython caveat applies to *speedup*: the GIL serialises pure
+Python DThread bodies, so wall-clock scaling is only visible for bodies
+that release the GIL (NumPy kernels).  The cycle-accurate speedup
+evaluation therefore lives on the simulated machines; this backend is the
+functional/portability proof.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Optional
+
+from repro.core.program import DDMProgram
+from repro.runtime.stats import KernelStats, RunResult
+from repro.tsu.group import FetchKind, TSUGroup
+from repro.tsu.policy import PlacementPolicy, contiguous_placement
+from repro.tsu.tub import ThreadUpdateBuffer
+
+__all__ = ["NativeRuntime"]
+
+_WAIT_TIMEOUT = 0.02  # seconds; condition re-check period (lost-wakeup guard)
+
+
+class NativeRuntime:
+    """Execute a DDM program on host threads with a software TSU."""
+
+    def __init__(
+        self,
+        program: DDMProgram,
+        nkernels: int,
+        tsu_capacity: Optional[int] = None,
+        placement: PlacementPolicy = contiguous_placement,
+        tub_segments: int = 8,
+        tub_segment_capacity: int = 256,
+        allow_stealing: bool = False,
+    ) -> None:
+        if nkernels < 1:
+            raise ValueError("need at least one kernel")
+        self.program = program
+        self.nkernels = nkernels
+        self.blocks = program.blocks(tsu_capacity)
+        self.tsu = TSUGroup(
+            nkernels, self.blocks, placement=placement,
+            allow_stealing=allow_stealing,
+        )
+        self.tub = ThreadUpdateBuffer(tub_segments, tub_segment_capacity)
+        # One mutex guards TSU state transitions (fetch / inlet / outlet /
+        # post-processing application); DThread bodies run outside it.
+        self._cond = threading.Condition()
+        self._errors: list[BaseException] = []
+        self._stats = [KernelStats(k) for k in range(nkernels)]
+        self._ran = False
+
+    # -- kernel thread ---------------------------------------------------------
+    def _kernel_main(self, k: int) -> None:
+        env = self.program.env
+        stats = self._stats[k]
+        tsu = self.tsu
+        try:
+            while True:
+                if self._errors:
+                    return  # another thread failed; shut down cleanly
+                with self._cond:
+                    fetch = tsu.fetch(k)
+                    stats.fetches += 1
+                    while fetch.kind == FetchKind.WAIT:
+                        if self._errors:
+                            return
+                        stats.waits += 1
+                        self._cond.wait(timeout=_WAIT_TIMEOUT)
+                        fetch = tsu.fetch(k)
+                        stats.fetches += 1
+
+                if fetch.kind == FetchKind.EXIT:
+                    return
+
+                if fetch.kind == FetchKind.INLET:
+                    with self._cond:
+                        tsu.complete_inlet(k)
+                        self._cond.notify_all()
+                    continue
+
+                if fetch.kind == FetchKind.OUTLET:
+                    with self._cond:
+                        tsu.complete_outlet(k)
+                        self._cond.notify_all()
+                    continue
+
+                # Application DThread: body runs without any TSU lock held.
+                inst = fetch.instance
+                assert inst is not None and fetch.local_iid is not None
+                inst.template.run(env, inst.ctx)
+                stats.dthreads += 1
+                # Completion notification goes through the TUB.
+                self.tub.push((k, fetch.local_iid), preferred_segment=k)
+        except BaseException as exc:  # surface worker failures to run()
+            self._errors.append(exc)
+            with self._cond:
+                self._cond.notify_all()
+
+    # -- TSU emulator thread ----------------------------------------------------------
+    def _emulator_main(self) -> None:
+        tsu = self.tsu
+        try:
+            while True:
+                items = self.tub.drain()
+                if items:
+                    with self._cond:
+                        for kernel, local_iid in items:
+                            tsu.complete_thread(kernel, local_iid)
+                        self._cond.notify_all()
+                    continue
+                if tsu.is_exited() or self._errors:
+                    return
+                time.sleep(0.0005)
+        except BaseException as exc:
+            self._errors.append(exc)
+            with self._cond:
+                self._cond.notify_all()
+
+    # -- entry point --------------------------------------------------------------------
+    def run(self) -> RunResult:
+        if self._ran:
+            raise RuntimeError("NativeRuntime objects are single-use")
+        self._ran = True
+        env = self.program.env
+
+        t_start = time.perf_counter()
+        for section in self.program.prologue:
+            section.run(env)
+
+        emulator = threading.Thread(
+            target=self._emulator_main, name="tsu-emulator", daemon=True
+        )
+        kernels = [
+            threading.Thread(target=self._kernel_main, args=(k,), name=f"kernel{k}")
+            for k in range(self.nkernels)
+        ]
+        emulator.start()
+        for t in kernels:
+            t.start()
+        for t in kernels:
+            t.join()
+        emulator.join(timeout=5.0)
+
+        if self._errors:
+            raise RuntimeError("DDM execution failed") from self._errors[0]
+        if not self.tsu.is_exited():
+            raise RuntimeError("kernels exited before the TSU reached EXIT")
+
+        for section in self.program.epilogue:
+            section.run(env)
+        wall = time.perf_counter() - t_start
+
+        return RunResult(
+            program=self.program.name,
+            platform="native",
+            nkernels=self.nkernels,
+            cycles=0,
+            env=env,
+            kernels=self._stats,
+            tsu_stats={
+                "fetches": self.tsu.fetches,
+                "waits": self.tsu.waits,
+                "post_updates": self.tsu.post_updates,
+                "tub_pushes": self.tub.pushes,
+                "tub_retries": self.tub.push_retries,
+            },
+            wall_seconds=wall,
+        )

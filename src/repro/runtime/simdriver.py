@@ -1,0 +1,288 @@
+"""The Kernel loop on the simulated machines.
+
+Implements Figure 2 of the paper as DES processes: each Kernel repeatedly
+asks the TSU (through the platform's protocol adapter) for work and either
+runs the block's Inlet, an application DThread (charging its compute
+cycles plus the memory system's verdict on its access summary), the
+Outlet, or waits.  The first Kernel additionally executes the program's
+sequential prologue before the dataflow region opens and the epilogue
+after every Kernel exited.
+
+:func:`run_sequential_timed` produces the baseline measurement: the whole
+program on one core of the same machine with no TFlux overheads, exactly
+the paper's §5 baseline definition.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, Iterable, Optional
+
+from repro.core.dthread import ThreadKind
+from repro.core.program import DDMProgram
+from repro.runtime.stats import KernelStats, RunResult
+from repro.sim.cpu import Core
+from repro.sim.memory import MainMemory
+from repro.sim.engine import Engine, Event
+from repro.sim.machine import MachineConfig
+from repro.tsu.base import ProtocolAdapter, ZeroOverheadAdapter
+from repro.tsu.group import FetchKind, TSUGroup
+from repro.tsu.policy import PlacementPolicy, contiguous_placement
+
+__all__ = ["SimulatedRuntime", "run_sequential_timed"]
+
+#: Builds the platform's adapter: (engine, tsu) -> ProtocolAdapter.
+AdapterFactory = Callable[[Engine, TSUGroup], ProtocolAdapter]
+
+
+class SimulatedRuntime:
+    """Timed execution of a DDM program on a simulated machine."""
+
+    def __init__(
+        self,
+        program: DDMProgram,
+        machine: MachineConfig,
+        nkernels: int,
+        adapter_factory: Optional[AdapterFactory] = None,
+        tsu_capacity: Optional[int] = None,
+        placement: PlacementPolicy = contiguous_placement,
+        exact_memory: bool = False,
+        platform_name: str = "sim",
+        tracer=None,
+        allow_stealing: bool = False,
+    ) -> None:
+        if nkernels < 1:
+            raise ValueError("need at least one kernel")
+        if nkernels > machine.ncores:
+            raise ValueError(
+                f"{nkernels} kernels exceed the machine's {machine.ncores} cores"
+            )
+        self.program = program
+        self.machine = machine
+        self.nkernels = nkernels
+        self.platform_name = platform_name
+
+        self.engine = Engine()
+        self.blocks = program.blocks(tsu_capacity)
+        self.tsu = TSUGroup(
+            nkernels, self.blocks, placement=placement,
+            allow_stealing=allow_stealing,
+        )
+        factory = adapter_factory or (lambda eng, tsu: ZeroOverheadAdapter(eng, tsu))
+        self.adapter = factory(self.engine, self.tsu)
+        self.adapter.wake_kernels = self._wake
+        self.memsys = machine.memory_system(program.env.regions, exact=exact_memory)
+        # Physical-memory accounting: the PS3's 256 MB XDR is small enough
+        # to matter (paper §6.3); every shared region must fit.
+        self.main_memory = MainMemory(
+            capacity=machine.dram_bytes, line_size=machine.l1.line_size
+        )
+        for region in program.env.regions:
+            self.main_memory.allocate(region.size)
+        self.cores = [Core(i) for i in range(nkernels)]
+        #: Optional repro.runtime.trace.Tracer collecting per-DThread spans.
+        self.tracer = tracer
+        self._wait_events: dict[int, Event] = {}
+        self._ran = False
+
+    # -- wake management ------------------------------------------------------
+    def _wake(self, kernels: Optional[Iterable[int]] = None) -> None:
+        targets = list(self._wait_events) if kernels is None else [
+            k for k in kernels if k in self._wait_events
+        ]
+        for k in targets:
+            ev = self._wait_events.pop(k)
+            if not ev.triggered:
+                ev.succeed()
+
+    # -- per-kernel process -------------------------------------------------------
+    def _kernel_proc(self, k: int, stats: KernelStats) -> Generator:
+        engine = self.engine
+        core = self.cores[k]
+        env = self.program.env
+        adapter = self.adapter
+
+        while True:
+            t0 = engine.now
+            fetch = yield from adapter.fetch(k)
+            core.charge_runtime(int(engine.now - t0))
+            stats.fetches += 1
+
+            if fetch.kind == FetchKind.EXIT:
+                return
+
+            if fetch.kind == FetchKind.WAIT:
+                stats.waits += 1
+                # Close the lost-wakeup window: the adapter's fetch may
+                # have taken simulated time after reading the TSU state,
+                # during which a wake could have fired unobserved.
+                if self.tsu.has_work(k):
+                    continue
+                ev = self._wait_events.get(k)
+                if ev is None:
+                    ev = Event(engine, name=f"wake:k{k}")
+                    self._wait_events[k] = ev
+                t0 = engine.now
+                yield ev
+                core.charge_idle(int(engine.now - t0))
+                continue
+
+            if fetch.kind == FetchKind.INLET:
+                t0 = engine.now
+                yield from adapter.complete_inlet(k, fetch.block)
+                core.charge_runtime(int(engine.now - t0))
+                if self.tracer is not None:
+                    self.tracer.record(k, fetch.instance.name, "inlet", t0, engine.now)
+                continue
+
+            if fetch.kind == FetchKind.OUTLET:
+                t0 = engine.now
+                yield from adapter.complete_outlet(k, fetch.block)
+                core.charge_runtime(int(engine.now - t0))
+                if self.tracer is not None:
+                    self.tracer.record(k, fetch.instance.name, "outlet", t0, engine.now)
+                continue
+
+            # Application DThread: run functionally, then charge its time.
+            inst = fetch.instance
+            assert inst is not None and fetch.local_iid is not None
+            t_thread = engine.now
+            inst.template.run(env, inst.ctx)
+            compute = inst.template.compute_cost(env, inst.ctx)
+            summary = inst.template.access_summary(env, inst.ctx)
+            memory = adapter.thread_memory_cycles(k, inst, summary)
+            if memory is None:
+                memory = self.memsys.run_summary(k, summary)
+            if compute + memory > 0:
+                yield compute + memory
+            core.charge_compute(compute)
+            core.charge_memory(int(memory))
+
+            t0 = engine.now
+            yield from adapter.complete_thread(k, fetch.local_iid, inst)
+            core.charge_runtime(int(engine.now - t0))
+            core.finished_dthread()
+            stats.dthreads += 1
+            if self.tracer is not None:
+                self.tracer.record(k, inst.name, "thread", t_thread, engine.now)
+
+    # -- sequential sections --------------------------------------------------------
+    def _section_cycles(self, section) -> tuple[int, int]:
+        """(compute, memory) cycles of a sequential section on core 0."""
+        compute = int(section.compute_cost(self.program.env))
+        memory = 0
+        if section.accesses is not None:
+            summary = section.accesses(self.program.env)
+            memory = int(self.memsys.run_summary(0, summary))
+        return compute, memory
+
+    def _main_proc(self, stats_list: list[KernelStats]) -> Generator:
+        env = self.program.env
+        for section in self.program.prologue:
+            section.run(env)
+            compute, memory = self._section_cycles(section)
+            if compute + memory:
+                yield compute + memory
+            self.cores[0].charge_compute(compute)
+            self.cores[0].charge_memory(memory)
+
+        self._region_start = self.engine.now
+        start = getattr(self.adapter, "start", None)
+        if start is not None:
+            start()
+        kernel_procs = [
+            self.engine.process(self._kernel_proc(k, stats_list[k]), name=f"kernel{k}")
+            for k in range(self.nkernels)
+        ]
+        yield self.engine.all_of([p.done for p in kernel_procs])
+        self._region_end = self.engine.now
+
+        shutdown = getattr(self.adapter, "shutdown", None)
+        if shutdown is not None:
+            shutdown()
+
+        for section in self.program.epilogue:
+            section.run(env)
+            compute, memory = self._section_cycles(section)
+            if compute + memory:
+                yield compute + memory
+            self.cores[0].charge_compute(compute)
+            self.cores[0].charge_memory(memory)
+
+    # -- entry point -------------------------------------------------------------------
+    def run(self) -> RunResult:
+        if self._ran:
+            raise RuntimeError("SimulatedRuntime objects are single-use")
+        self._ran = True
+        stats_list = [KernelStats(k) for k in range(self.nkernels)]
+        self._region_start = 0.0
+        self._region_end = 0.0
+        main = self.engine.process(self._main_proc(stats_list), name="main")
+        self.engine.run()
+        if main.is_alive:
+            raise RuntimeError("simulation stalled (deadlocked kernels?)")
+        for k, ks in enumerate(stats_list):
+            ks.core = self.cores[k].stats
+        return RunResult(
+            program=self.program.name,
+            platform=self.platform_name,
+            nkernels=self.nkernels,
+            cycles=int(self.engine.now),
+            region_cycles=int(self._region_end - self._region_start),
+            env=self.program.env,
+            kernels=stats_list,
+            memory=self.memsys.total_stats(),
+            tsu_stats={
+                "fetches": self.tsu.fetches,
+                "waits": self.tsu.waits,
+                "post_updates": self.tsu.post_updates,
+                "dispatched": self.tsu.threads_dispatched,
+            },
+        )
+
+
+def run_sequential_timed(
+    program: DDMProgram,
+    machine: MachineConfig,
+    exact_memory: bool = False,
+) -> RunResult:
+    """The paper's baseline: the original sequential program on one core.
+
+    Executes prologue, every DThread instance in topological order, and
+    the epilogue on core 0 with no TSU interaction and no runtime cost.
+    """
+    memsys = machine.memory_system(program.env.regions, exact=exact_memory)
+    env = program.env
+    cycles = 0
+
+    def section_cost(section) -> int:
+        c = section.compute_cost(env)
+        if section.accesses is not None:
+            c += memsys.run_summary(0, section.accesses(env))
+        return int(c)
+
+    for section in program.prologue:
+        section.run(env)
+        cycles += section_cost(section)
+
+    region_start = cycles
+    for inst in program.fire_order():
+        inst.template.run(env, inst.ctx)
+        cycles += inst.template.compute_cost(env, inst.ctx)
+        cycles += memsys.run_summary(0, inst.template.access_summary(env, inst.ctx))
+    region_cycles = cycles - region_start
+
+    for section in program.epilogue:
+        section.run(env)
+        cycles += section_cost(section)
+
+    stats = KernelStats(0)
+    return RunResult(
+        program=program.name,
+        platform=f"{machine.name}-sequential",
+        nkernels=1,
+        cycles=int(cycles),
+        region_cycles=int(region_cycles),
+        env=env,
+        kernels=[stats],
+        memory=memsys.total_stats(),
+    )

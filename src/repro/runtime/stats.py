@@ -1,0 +1,68 @@
+"""Run statistics and results shared by all runtime backends."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.core.environment import Environment
+from repro.sim.cache import CacheStats
+from repro.sim.cpu import CoreStats
+
+__all__ = ["KernelStats", "RunResult"]
+
+
+@dataclass
+class KernelStats:
+    """Per-kernel execution summary."""
+
+    kernel_id: int
+    dthreads: int = 0
+    fetches: int = 0
+    waits: int = 0
+    core: CoreStats = field(default_factory=CoreStats)
+
+
+@dataclass
+class RunResult:
+    """Outcome of one program execution on one platform."""
+
+    program: str
+    platform: str
+    nkernels: int
+    cycles: int
+    env: Environment
+    #: Cycles of the parallelised region only (prologue/epilogue excluded)
+    #: — what the paper measures with gettimeofday (§5).  Equal to
+    #: ``cycles`` when the program has no sequential sections.
+    region_cycles: int = 0
+    kernels: list[KernelStats] = field(default_factory=list)
+    memory: Optional[CacheStats] = None
+    tsu_stats: dict[str, Any] = field(default_factory=dict)
+    #: Wall-clock seconds for native runs (cycles is 0 there unless set).
+    wall_seconds: float = 0.0
+
+    def speedup_over(self, sequential_cycles: int) -> float:
+        """Paper-style speedup: sequential time / parallel time, over the
+        parallelised region."""
+        cyc = self.region_cycles or self.cycles
+        if cyc <= 0:
+            raise ValueError("run has no cycle measurement")
+        return sequential_cycles / cyc
+
+    @property
+    def total_dthreads(self) -> int:
+        return sum(k.dthreads for k in self.kernels)
+
+    def utilisation(self) -> float:
+        """Mean fraction of kernel time spent busy (not waiting on TSU)."""
+        if not self.kernels:
+            return 0.0
+        return sum(k.core.utilisation() for k in self.kernels) / len(self.kernels)
+
+    def summary_line(self) -> str:
+        return (
+            f"{self.program:>8s} on {self.platform:<10s} "
+            f"kernels={self.nkernels:<3d} cycles={self.cycles:>14,d} "
+            f"util={self.utilisation():.2f}"
+        )

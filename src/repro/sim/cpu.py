@@ -1,0 +1,61 @@
+"""Simulated CPU core.
+
+Cores in TFlux run Kernels (the user-level runtime loop).  For the timing
+simulation a core is an accounting entity: it accumulates busy cycles
+(DThread compute + memory stalls + runtime code) and idle cycles (waiting
+on the TSU for a ready DThread), and exposes the utilisation numbers the
+analysis layer reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Core", "CoreStats"]
+
+
+@dataclass
+class CoreStats:
+    """Cycle breakdown for one core."""
+
+    compute_cycles: int = 0
+    memory_cycles: int = 0
+    runtime_cycles: int = 0  # kernel loop, TSU protocol, post-processing
+    idle_cycles: int = 0
+    dthreads_executed: int = 0
+
+    @property
+    def busy_cycles(self) -> int:
+        return self.compute_cycles + self.memory_cycles + self.runtime_cycles
+
+    @property
+    def total_cycles(self) -> int:
+        return self.busy_cycles + self.idle_cycles
+
+    def utilisation(self) -> float:
+        total = self.total_cycles
+        return self.busy_cycles / total if total else 0.0
+
+
+@dataclass
+class Core:
+    """One core of the simulated machine."""
+
+    core_id: int
+    role: str = "compute"  # "compute" | "os" | "tsu" (TFluxSoft emulator)
+    stats: CoreStats = field(default_factory=CoreStats)
+
+    def charge_compute(self, cycles: int) -> None:
+        self.stats.compute_cycles += cycles
+
+    def charge_memory(self, cycles: int) -> None:
+        self.stats.memory_cycles += cycles
+
+    def charge_runtime(self, cycles: int) -> None:
+        self.stats.runtime_cycles += cycles
+
+    def charge_idle(self, cycles: int) -> None:
+        self.stats.idle_cycles += cycles
+
+    def finished_dthread(self) -> None:
+        self.stats.dthreads_executed += 1

@@ -1,0 +1,336 @@
+"""Discrete-event simulation core.
+
+A minimal but complete DES kernel in the style of SimPy, tailored to the
+needs of the TFlux platform models: cycle-granularity virtual time,
+generator-based processes, one-shot events, and FIFO capacity resources
+(used for the system bus arbiter, the hardware TSU command port, the TSU
+emulator core, Cell mailboxes and the DMA engine).
+
+Processes are plain Python generators.  A process may ``yield``:
+
+* a number — advance this process by that many cycles;
+* an :class:`Event` — suspend until the event is triggered (the ``yield``
+  expression evaluates to the event's value);
+* another :class:`Process` — suspend until that process terminates (the
+  ``yield`` evaluates to its return value).
+
+Example
+-------
+>>> eng = Engine()
+>>> def pinger(eng, ev):
+...     yield 10
+...     ev.succeed("pong")
+>>> def ponger(eng, ev):
+...     value = yield ev
+...     return (eng.now, value)
+>>> ev = eng.event()
+>>> eng.process(pinger(eng, ev))        # doctest: +ELLIPSIS
+<repro.sim.engine.Process object at ...>
+>>> p = eng.process(ponger(eng, ev))
+>>> eng.run()
+>>> p.value
+(10, 'pong')
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = ["Engine", "Event", "Timeout", "Process", "Resource", "SimulationError"]
+
+
+class SimulationError(RuntimeError):
+    """Raised for illegal uses of the simulation kernel.
+
+    Examples include triggering an already-triggered event or running an
+    engine whose event queue contains an item scheduled in the past.
+    """
+
+
+class Event:
+    """A one-shot event that processes can wait on.
+
+    An event starts *pending*; calling :meth:`succeed` (or :meth:`fail`)
+    triggers it exactly once, resuming every waiting process at the current
+    simulation time.  Late waiters (processes that yield an event that has
+    already been triggered) resume immediately.
+    """
+
+    __slots__ = ("engine", "_value", "_exc", "triggered", "_waiters", "name")
+
+    def __init__(self, engine: "Engine", name: str = "") -> None:
+        self.engine = engine
+        self.name = name
+        self.triggered = False
+        self._value: Any = None
+        self._exc: Optional[BaseException] = None
+        self._waiters: list[Callable[["Event"], None]] = []
+
+    # -- triggering ------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event, delivering *value* to all waiters."""
+        if self.triggered:
+            raise SimulationError(f"event {self.name!r} triggered twice")
+        self.triggered = True
+        self._value = value
+        self._flush()
+        return self
+
+    def fail(self, exc: BaseException) -> "Event":
+        """Trigger the event so that waiters observe *exc* raised."""
+        if self.triggered:
+            raise SimulationError(f"event {self.name!r} triggered twice")
+        self.triggered = True
+        self._exc = exc
+        self._flush()
+        return self
+
+    def _flush(self) -> None:
+        waiters, self._waiters = self._waiters, []
+        for cb in waiters:
+            # Deliver on the engine queue so resumption order is
+            # deterministic and never re-entrant.
+            self.engine._schedule(0.0, cb, self)
+
+    # -- waiting ---------------------------------------------------------
+    def add_callback(self, cb: Callable[["Event"], None]) -> None:
+        """Register *cb* to run (with this event) once triggered."""
+        if self.triggered:
+            self.engine._schedule(0.0, cb, self)
+        else:
+            self._waiters.append(cb)
+
+    @property
+    def value(self) -> Any:
+        if not self.triggered:
+            raise SimulationError(f"event {self.name!r} not yet triggered")
+        if self._exc is not None:
+            raise self._exc
+        return self._value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "triggered" if self.triggered else "pending"
+        return f"<Event {self.name!r} {state}>"
+
+
+class Timeout(Event):
+    """An event that triggers automatically after a fixed delay."""
+
+    __slots__ = ()
+
+    def __init__(self, engine: "Engine", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay {delay!r}")
+        super().__init__(engine, name=f"timeout({delay})")
+        engine._schedule(delay, self._fire, value)
+
+    def _fire(self, value: Any) -> None:
+        self.succeed(value)
+
+
+class Process:
+    """A running simulation process wrapping a generator.
+
+    The process's :attr:`done` event triggers when the generator returns;
+    the generator's return value becomes the event value (and is exposed as
+    :attr:`value`).  Yielding inside the generator follows the protocol
+    documented in the module docstring.
+    """
+
+    __slots__ = ("engine", "gen", "done", "name")
+
+    def __init__(self, engine: "Engine", gen: Generator, name: str = "") -> None:
+        self.engine = engine
+        self.gen = gen
+        self.name = name or getattr(gen, "__name__", "process")
+        self.done = Event(engine, name=f"done:{self.name}")
+        engine._schedule(0.0, self._resume, _SEND_NONE)
+
+    # Sentinel distinguishing "send None" from "event delivery".
+    @property
+    def value(self) -> Any:
+        """Return value of the finished process (raises if still running)."""
+        return self.done.value
+
+    @property
+    def is_alive(self) -> bool:
+        return not self.done.triggered
+
+    def _resume(self, item: Any) -> None:
+        engine = self.engine
+        try:
+            if isinstance(item, Event):
+                try:
+                    send_value = item.value
+                except BaseException as exc:  # failed event propagates
+                    target = self.gen.throw(exc)
+                else:
+                    target = self.gen.send(send_value)
+            else:
+                target = self.gen.send(None if item is _SEND_NONE else item)
+        except StopIteration as stop:
+            self.done.succeed(stop.value)
+            return
+        self._dispatch(target)
+
+    def _dispatch(self, target: Any) -> None:
+        """Suspend on the yielded target (delay, event, or process)."""
+        if isinstance(target, Process):
+            target.done.add_callback(self._resume)
+        elif isinstance(target, Event):
+            target.add_callback(self._resume)
+        elif isinstance(target, (int, float)):
+            self.engine._schedule(float(target), self._resume, _SEND_NONE)
+        else:
+            exc = SimulationError(
+                f"process {self.name!r} yielded unsupported {target!r}"
+            )
+            try:
+                recovered = self.gen.throw(exc)
+            except StopIteration as stop:
+                self.done.succeed(stop.value)
+                return
+            # The generator handled the error and yielded a new target:
+            # keep it running.  If it re-raised, the error escapes to the
+            # engine run loop — a process that cannot handle it is a bug.
+            self._dispatch(recovered)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "alive" if self.is_alive else "done"
+        return f"<Process {self.name!r} {state}>"
+
+
+_SEND_NONE = object()
+
+
+class Resource:
+    """FIFO capacity resource (bus arbiter, TSU port, emulator core...).
+
+    ``request()`` returns an :class:`Event` that triggers when a slot is
+    granted; the holder must call ``release()`` exactly once.  Grant order
+    is strictly FIFO, which models the paper's bus arbiter behaviour and
+    keeps simulations deterministic.
+    """
+
+    __slots__ = ("engine", "capacity", "_in_use", "_queue", "name")
+
+    def __init__(self, engine: "Engine", capacity: int = 1, name: str = "") -> None:
+        if capacity < 1:
+            raise SimulationError(f"resource capacity must be >= 1, got {capacity}")
+        self.engine = engine
+        self.capacity = capacity
+        self.name = name
+        self._in_use = 0
+        self._queue: list[Event] = []
+
+    def request(self) -> Event:
+        """Ask for a slot; the returned event triggers when granted."""
+        ev = Event(self.engine, name=f"grant:{self.name}")
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            ev.succeed(self)
+        else:
+            self._queue.append(ev)
+        return ev
+
+    def release(self) -> None:
+        """Free a slot, granting it to the longest-waiting requester."""
+        if self._in_use <= 0:
+            raise SimulationError(f"release of idle resource {self.name!r}")
+        if self._queue:
+            ev = self._queue.pop(0)
+            ev.succeed(self)
+        else:
+            self._in_use -= 1
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._queue)
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+
+class Engine:
+    """The simulation kernel: virtual clock plus an event heap.
+
+    Time is a float but all TFlux models use integral CPU cycles.  The heap
+    is keyed on ``(time, sequence)`` so same-time callbacks run in schedule
+    order, making every simulation deterministic.
+    """
+
+    __slots__ = ("now", "_heap", "_seq", "_nevents")
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: list[tuple[float, int, Callable, Any]] = []
+        self._seq = 0
+        self._nevents = 0
+
+    # -- factory helpers --------------------------------------------------
+    def event(self, name: str = "") -> Event:
+        return Event(self, name=name)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, gen: Generator, name: str = "") -> Process:
+        return Process(self, gen, name=name)
+
+    def resource(self, capacity: int = 1, name: str = "") -> Resource:
+        return Resource(self, capacity, name=name)
+
+    def all_of(self, events: Iterable[Event], name: str = "all_of") -> Event:
+        """Event that triggers once every event in *events* has triggered."""
+        events = list(events)
+        combined = Event(self, name=name)
+        remaining = len(events)
+        if remaining == 0:
+            combined.succeed([])
+            return combined
+        values: list[Any] = [None] * remaining
+        state = {"left": remaining}
+
+        def make_cb(i: int) -> Callable[[Event], None]:
+            def cb(ev: Event) -> None:
+                values[i] = ev.value
+                state["left"] -= 1
+                if state["left"] == 0:
+                    combined.succeed(list(values))
+
+            return cb
+
+        for i, ev in enumerate(events):
+            ev.add_callback(make_cb(i))
+        return combined
+
+    # -- scheduling --------------------------------------------------------
+    def _schedule(self, delay: float, cb: Callable, arg: Any) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r}")
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + delay, self._seq, cb, arg))
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the heap drains or the clock passes *until*."""
+        heap = self._heap
+        while heap:
+            t, _seq, cb, arg = heap[0]
+            if until is not None and t > until:
+                self.now = until
+                return
+            heapq.heappop(heap)
+            if t < self.now:
+                raise SimulationError("event scheduled in the past")
+            self.now = t
+            self._nevents += 1
+            cb(arg)
+        if until is not None and until > self.now:
+            self.now = until
+
+    @property
+    def events_executed(self) -> int:
+        """Total number of callbacks dispatched (diagnostic)."""
+        return self._nevents

@@ -1,0 +1,97 @@
+"""Protocol adapter interface: how much each TSU operation *costs*.
+
+The :class:`~repro.tsu.group.TSUGroup` defines what the TSU does; adapters
+define what its operations cost on a given platform and through which
+shared resources they flow.  The simulated runtime driver
+(:mod:`repro.runtime.simdriver`) calls adapters as DES process fragments
+(``yield from``), so contention — at the hardware TSU's command port, at
+the TUB segments, at the Cell mailboxes — is modelled by the event engine,
+not by constants.
+
+:class:`ZeroOverheadAdapter` makes every operation free; it is used for
+the sequential-baseline runs ("the baseline program is the original
+sequential one, i.e. without any TFlux overheads", §5) and in tests that
+check pure scheduling behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.core.block import DDMBlock
+from repro.core.dthread import DThreadInstance
+from repro.sim.accesses import AccessSummary
+from repro.sim.engine import Engine
+from repro.tsu.group import Fetch, TSUGroup
+
+__all__ = ["ProtocolAdapter", "ZeroOverheadAdapter"]
+
+
+class ProtocolAdapter:
+    """Base class; subclasses override the cost-bearing generators.
+
+    Every method is a generator (DES process fragment).  The functional
+    TSU transition must happen inside the generator at the simulated time
+    the platform would apply it (e.g. the software TSU applies
+    post-processing only when the emulator drains the TUB).
+    """
+
+    def __init__(self, engine: Engine, tsu: TSUGroup) -> None:
+        self.engine = engine
+        self.tsu = tsu
+        #: Set by the driver: wake_kernels(kernel_ids or None for all).
+        self.wake_kernels = lambda kernels=None: None
+
+    # -- queries ------------------------------------------------------------
+    def fetch(self, kernel: int) -> Generator:
+        """Ask the TSU for the next DThread; returns a Fetch."""
+        yield 0
+        return self.tsu.fetch(kernel)
+
+    # -- completions -----------------------------------------------------------
+    def complete_inlet(self, kernel: int, block: DDMBlock) -> Generator:
+        yield 0
+        self.tsu.complete_inlet(kernel)
+        self.wake_kernels()
+
+    def complete_thread(
+        self, kernel: int, local_iid: int, instance: DThreadInstance
+    ) -> Generator:
+        yield 0
+        self._apply_thread_completion(kernel, local_iid)
+
+    def complete_outlet(self, kernel: int, block: DDMBlock) -> Generator:
+        yield 0
+        self.tsu.complete_outlet(kernel)
+        self.wake_kernels()
+
+    # -- optional memory-pricing hook ------------------------------------------
+    def thread_memory_cycles(
+        self, kernel: int, instance: DThreadInstance, summary: AccessSummary
+    ) -> Optional[int]:
+        """Platform-specific pricing of a DThread's memory behaviour.
+
+        Return ``None`` to let the driver use the machine's coherent cache
+        model; the Cell adapter overrides this with DMA/Local-Store
+        accounting.
+        """
+        return None
+
+    # -- shared helper -----------------------------------------------------------
+    def _apply_thread_completion(self, kernel: int, local_iid: int) -> None:
+        """Run post-processing functionally and wake affected kernels."""
+        newly_ready = self.tsu.complete_thread(kernel, local_iid)
+        if self.tsu.phase_name in ("OUTLET_PENDING", "EXITED"):
+            self.wake_kernels()
+        elif newly_ready:
+            if self.tsu.allow_stealing:
+                # Any waiting kernel may steal the new work.
+                self.wake_kernels()
+            else:
+                assert self.tsu.tkt is not None
+                kernels = {self.tsu.tkt.kernel_of(c) for c in newly_ready}
+                self.wake_kernels(kernels)
+
+
+class ZeroOverheadAdapter(ProtocolAdapter):
+    """All TSU operations are free and instantaneous."""

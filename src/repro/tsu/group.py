@@ -1,0 +1,246 @@
+"""The TSU Group: the functional scheduling state machine.
+
+"In TFlux we decided to group the TSUs in a single unit named the TSU
+Group.  The units of the TSU Group are split into two categories: those
+that serve the CPU that the TSU corresponds to and those that are common
+for all CPUs" (paper §3.3).  Here the per-CPU units are the
+per-kernel :class:`~repro.tsu.sm.SynchronizationMemory` objects and the
+common units are the block sequencer, the Thread-to-Kernel Table, and the
+completion counters.
+
+This class is *functional only* — it implements exactly what the TSU does,
+with no notion of time.  The hardware, software and Cell implementations
+wrap it with their own cost/latency adapters, which is precisely the
+paper's virtualization claim: same scheduling semantics, different
+mechanism.
+
+Protocol (driven by the Kernels through the platform adapters):
+
+1. ``fetch(kernel)`` → a :class:`Fetch` describing what the kernel should
+   do next: run the current block's Inlet, run an application DThread,
+   run the Outlet, wait, or exit.
+2. After an application DThread finishes, ``complete_thread(kernel, local_iid)``
+   performs the Post-Processing Phase: every consumer's Ready Count is
+   decremented through the TKT-indexed SM; threads reaching zero join
+   their kernel's ready queue.
+3. ``complete_inlet`` / ``complete_outlet`` drive block sequencing:
+   the Outlet clears the SMs and (unless the block was the last) arms the
+   next block's Inlet; the last Outlet flips the TSU into the exit state.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.block import DDMBlock
+from repro.core.dthread import DThreadInstance
+from repro.tsu.policy import PlacementPolicy, contiguous_placement
+from repro.tsu.sm import SynchronizationMemory, ThreadEntry
+from repro.tsu.tkt import ThreadToKernelTable
+
+__all__ = ["FetchKind", "Fetch", "TSUGroup"]
+
+
+class FetchKind(enum.Enum):
+    """What the TSU tells a querying kernel to do."""
+
+    INLET = "inlet"
+    THREAD = "thread"
+    OUTLET = "outlet"
+    WAIT = "wait"
+    EXIT = "exit"
+
+
+@dataclass(frozen=True)
+class Fetch:
+    kind: FetchKind
+    instance: Optional[DThreadInstance] = None
+    local_iid: Optional[int] = None
+    block: Optional[DDMBlock] = None
+
+
+class _Phase(enum.Enum):
+    INLET_PENDING = 0  # waiting for some kernel to claim & run the Inlet
+    LOADING = 1  # inlet claimed, metadata loading in progress
+    RUNNING = 2
+    OUTLET_PENDING = 3
+    FINISHING = 4  # outlet claimed, clearing in progress
+    EXITED = 5
+
+
+class TSUGroup:
+    """Scheduling state machine over a program's DDM Blocks."""
+
+    def __init__(
+        self,
+        nkernels: int,
+        blocks: list[DDMBlock],
+        placement: PlacementPolicy = contiguous_placement,
+        allow_stealing: bool = False,
+    ) -> None:
+        if nkernels < 1:
+            raise ValueError("need at least one kernel")
+        if not blocks:
+            raise ValueError("program has no blocks")
+        self.nkernels = nkernels
+        self.blocks = blocks
+        self.placement = placement
+        #: §3.1 reads the TSU's reply as "one of the ready DThreads",
+        #: locality-preferring: with stealing enabled, an idle kernel may
+        #: be handed a ready DThread from another kernel's SM instead of
+        #: waiting.  Off by default (strictly SM-local dispatch).
+        self.allow_stealing = allow_stealing
+        self.sms = [SynchronizationMemory(k) for k in range(nkernels)]
+        self.tkt: Optional[ThreadToKernelTable] = None
+
+        self._block_idx = 0
+        self._phase = _Phase.INLET_PENDING
+        self._completed_in_block = 0
+        # Statistics.
+        self.fetches = 0
+        self.waits = 0
+        self.post_updates = 0
+        self.threads_dispatched = 0
+        self.steals = 0
+
+    # -- helpers -----------------------------------------------------------
+    @property
+    def current_block(self) -> DDMBlock:
+        return self.blocks[self._block_idx]
+
+    @property
+    def phase_name(self) -> str:
+        return self._phase.name
+
+    def is_exited(self) -> bool:
+        return self._phase == _Phase.EXITED
+
+    # -- the Inlet's work ---------------------------------------------------------
+    def _load_block(self, block: DDMBlock) -> None:
+        """What the Inlet DThread does: load all metadata into the SMs."""
+        assignment = self.placement(block, self.nkernels)
+        self.tkt = ThreadToKernelTable(assignment, self.nkernels)
+        for local_iid, inst in enumerate(block.instances):
+            entry = ThreadEntry(
+                local_iid=local_iid,
+                instance=inst,
+                ready_count=block.ready_counts[local_iid],
+                initial_ready_count=block.ready_counts[local_iid],
+                consumers=list(block.consumers[local_iid]),
+            )
+            self.sms[assignment[local_iid]].load(entry)
+        self._completed_in_block = 0
+
+    # -- kernel-facing protocol ---------------------------------------------------
+    def fetch(self, kernel: int) -> Fetch:
+        """FindReadyThread: what should *kernel* execute next?"""
+        self.fetches += 1
+        if self._phase == _Phase.EXITED:
+            return Fetch(FetchKind.EXIT)
+
+        if self._phase == _Phase.INLET_PENDING:
+            # First querying kernel claims the Inlet.
+            self._phase = _Phase.LOADING
+            block = self.current_block
+            return Fetch(FetchKind.INLET, instance=block.inlet, block=block)
+
+        if self._phase == _Phase.RUNNING:
+            entry = self.sms[kernel].pop_ready()
+            if entry is None and self.allow_stealing:
+                victim = max(
+                    (sm for sm in self.sms if sm.peek_ready()),
+                    key=lambda sm: len(sm._ready),
+                    default=None,
+                )
+                if victim is not None:
+                    entry = victim.pop_ready()
+                    self.steals += 1
+            if entry is not None:
+                self.threads_dispatched += 1
+                return Fetch(
+                    FetchKind.THREAD,
+                    instance=entry.instance,
+                    local_iid=entry.local_iid,
+                    block=self.current_block,
+                )
+            self.waits += 1
+            return Fetch(FetchKind.WAIT)
+
+        if self._phase == _Phase.OUTLET_PENDING:
+            self._phase = _Phase.FINISHING
+            block = self.current_block
+            return Fetch(FetchKind.OUTLET, instance=block.outlet, block=block)
+
+        # LOADING / FINISHING: another kernel is running the Inlet/Outlet.
+        self.waits += 1
+        return Fetch(FetchKind.WAIT)
+
+    def has_work(self, kernel: int) -> bool:
+        """Cheap peek: would a fetch by *kernel* return something other
+        than WAIT right now?  Drivers use this to close the lost-wakeup
+        window between a (possibly delayed) fetch reply and going to
+        sleep."""
+        if self._phase in (_Phase.INLET_PENDING, _Phase.OUTLET_PENDING, _Phase.EXITED):
+            return True
+        if self._phase == _Phase.RUNNING:
+            if self.sms[kernel].peek_ready():
+                return True
+            return self.allow_stealing and any(
+                sm.peek_ready() for sm in self.sms
+            )
+        return False
+
+    def complete_inlet(self, kernel: int) -> None:
+        if self._phase != _Phase.LOADING:
+            raise RuntimeError(f"inlet completion in phase {self._phase}")
+        self._load_block(self.current_block)
+        # A block with no application DThreads (unreachable through the
+        # splitter, but possible for hand-built block lists) must fall
+        # straight through to its Outlet rather than stall in RUNNING.
+        if self.current_block.size == 0:
+            self._phase = _Phase.OUTLET_PENDING
+        else:
+            self._phase = _Phase.RUNNING
+
+    def complete_thread(self, kernel: int, local_iid: int) -> list[int]:
+        """Post-Processing Phase; returns consumers that became ready."""
+        if self._phase != _Phase.RUNNING:
+            raise RuntimeError(f"thread completion in phase {self._phase}")
+        assert self.tkt is not None
+        sm = self.sms[self.tkt.kernel_of(local_iid)]
+        entry = sm.mark_completed(local_iid)
+        newly_ready: list[int] = []
+        for consumer in entry.consumers:
+            consumer_sm = self.sms[self.tkt.kernel_of(consumer)]
+            if consumer_sm.decrement(consumer):
+                newly_ready.append(consumer)
+            self.post_updates += 1
+        self._completed_in_block += 1
+        if self._completed_in_block == self.current_block.size:
+            self._phase = _Phase.OUTLET_PENDING
+        return newly_ready
+
+    def complete_outlet(self, kernel: int) -> None:
+        if self._phase != _Phase.FINISHING:
+            raise RuntimeError(f"outlet completion in phase {self._phase}")
+        for sm in self.sms:
+            sm.clear()
+        if self.current_block.is_last:
+            self._phase = _Phase.EXITED
+        else:
+            self._block_idx += 1
+            self._phase = _Phase.INLET_PENDING
+
+    # -- invariants (property tests) -------------------------------------------------
+    def check_invariants(self) -> None:
+        if self._phase == _Phase.RUNNING:
+            total = sum(len(sm) for sm in self.sms)
+            assert total == self.current_block.size, (
+                f"loaded entries {total} != block size {self.current_block.size}"
+            )
+            for sm in self.sms:
+                for local_iid in list(sm._entries):
+                    e = sm.entry(local_iid)
+                    assert 0 <= e.ready_count <= e.initial_ready_count

@@ -1,0 +1,60 @@
+"""TSU policies: DThread placement (TKT construction) and selection.
+
+Placement decides which kernel's Synchronization Memory holds each DThread
+instance — the Thread-to-Kernel Table.  The default, *contiguous*
+placement, gives each kernel a consecutive range of contexts per template,
+so neighbouring loop iterations (which touch neighbouring data) land on
+the same core: the TSU's "maximise spatial locality" policy (paper §3.1).
+Round-robin placement is provided as the locality-free baseline used by
+the ablation benchmarks.
+
+Templates may override placement per context through their ``affinity``
+callable (used e.g. by QSORT's merge tree to co-locate a merge step with
+one of its producers).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.core.block import DDMBlock
+
+__all__ = ["contiguous_placement", "round_robin_placement", "PlacementPolicy"]
+
+#: (block, nkernels) -> kernel index per block-local instance.
+PlacementPolicy = Callable[[DDMBlock, int], list[int]]
+
+
+def _template_groups(block: DDMBlock) -> list[tuple[int, list[int]]]:
+    """Block-local ids grouped by template, preserving context order."""
+    groups: dict[int, list[int]] = {}
+    for local_iid, inst in enumerate(block.instances):
+        groups.setdefault(inst.template.tid, []).append(local_iid)
+    return sorted(groups.items())
+
+
+def contiguous_placement(block: DDMBlock, nkernels: int) -> list[int]:
+    """Each kernel gets a contiguous chunk of every template's contexts."""
+    assignment = [0] * block.size
+    for _tid, locals_ in _template_groups(block):
+        n = len(locals_)
+        for pos, local_iid in enumerate(locals_):
+            inst = block.instances[local_iid]
+            if inst.template.affinity is not None:
+                assignment[local_iid] = inst.template.affinity(inst.ctx, nkernels) % nkernels
+            else:
+                assignment[local_iid] = min(pos * nkernels // n, nkernels - 1)
+    return assignment
+
+
+def round_robin_placement(block: DDMBlock, nkernels: int) -> list[int]:
+    """Instances dealt to kernels cyclically (no locality preservation)."""
+    assignment = [0] * block.size
+    for _tid, locals_ in _template_groups(block):
+        for pos, local_iid in enumerate(locals_):
+            inst = block.instances[local_iid]
+            if inst.template.affinity is not None:
+                assignment[local_iid] = inst.template.affinity(inst.ctx, nkernels) % nkernels
+            else:
+                assignment[local_iid] = pos % nkernels
+    return assignment

@@ -1,0 +1,117 @@
+"""Synchronization Memory (SM).
+
+"The Ready Count values are stored in a data structure named
+Synchronization Memory (SM).  One such structure exists for each kernel"
+(paper §4.2).  An SM holds the :class:`ThreadEntry` metadata of every
+DThread instance assigned to its kernel, plus that kernel's ready queue.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.dthread import DThreadInstance
+
+__all__ = ["ThreadEntry", "SynchronizationMemory"]
+
+
+@dataclass
+class ThreadEntry:
+    """Per-instance TSU metadata (one Synchronization Graph node, loaded
+    by the block's Inlet DThread)."""
+
+    local_iid: int
+    instance: DThreadInstance
+    ready_count: int
+    initial_ready_count: int
+    consumers: list[int]
+    completed: bool = False
+
+    def decrement(self) -> bool:
+        """Post-processing step: one producer completed.  True if now ready."""
+        if self.ready_count <= 0:
+            raise RuntimeError(
+                f"ready count underflow for {self.instance.name} "
+                "(duplicate completion notification?)"
+            )
+        self.ready_count -= 1
+        return self.ready_count == 0
+
+
+class SynchronizationMemory:
+    """One kernel's slice of TSU state: entries + the ready queue.
+
+    The ready queue is a min-heap on the local instance id.  Local ids are
+    dense in (template, context) order, so popping the smallest id hands a
+    kernel consecutive contexts of the same template back-to-back — the
+    "maximise spatial locality" selection policy of §3.1 in its simplest
+    effective form.
+    """
+
+    def __init__(self, kernel_id: int) -> None:
+        self.kernel_id = kernel_id
+        self._entries: dict[int, ThreadEntry] = {}
+        self._ready: list[int] = []
+        self.loads = 0
+        self.updates = 0
+
+    # -- loading (Inlet) ------------------------------------------------------
+    def load(self, entry: ThreadEntry) -> None:
+        if entry.local_iid in self._entries:
+            raise KeyError(f"duplicate load of instance {entry.local_iid}")
+        self._entries[entry.local_iid] = entry
+        self.loads += 1
+        if entry.ready_count == 0:
+            heapq.heappush(self._ready, entry.local_iid)
+
+    def clear(self) -> None:
+        """Outlet: deallocate all TSU resources of the finished block."""
+        self._entries.clear()
+        self._ready.clear()
+
+    # -- scheduling ---------------------------------------------------------
+    def pop_ready(self) -> Optional[ThreadEntry]:
+        if not self._ready:
+            return None
+        return self._entries[heapq.heappop(self._ready)]
+
+    def peek_ready(self) -> bool:
+        return bool(self._ready)
+
+    # -- post-processing ---------------------------------------------------
+    def decrement(self, local_iid: int) -> bool:
+        """Decrement one entry's Ready Count; enqueue if it became ready."""
+        entry = self._entries[local_iid]
+        became_ready = entry.decrement()
+        self.updates += 1
+        if became_ready:
+            heapq.heappush(self._ready, local_iid)
+        return became_ready
+
+    def mark_completed(self, local_iid: int) -> ThreadEntry:
+        entry = self._entries[local_iid]
+        if entry.completed:
+            raise RuntimeError(f"instance {local_iid} completed twice")
+        if entry.ready_count != 0:
+            raise RuntimeError(
+                f"instance {local_iid} completed with ready count "
+                f"{entry.ready_count}"
+            )
+        entry.completed = True
+        return entry
+
+    # -- introspection ----------------------------------------------------------
+    def entry(self, local_iid: int) -> ThreadEntry:
+        return self._entries[local_iid]
+
+    def __contains__(self, local_iid: int) -> bool:
+        return local_iid in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def ready_count_sum(self) -> int:
+        return sum(e.ready_count for e in self._entries.values())

@@ -1,0 +1,147 @@
+"""TFluxSoft: the TSU as a software emulator on a dedicated core.
+
+"In the case of TFluxSoft we implement the TSU as a software module that
+executes its code on one of the cores of the multicore processor ...
+named TSU Emulator" (paper §4.2).  The operations split between the
+kernels (Local TSU — reading the own ready queue, loading metadata) and
+the emulator (Global TSU — draining the TUB, decrementing Ready Counts
+through the TKT).
+
+Timing mechanics modelled here:
+
+* a completing kernel pushes the completion into a **TUB segment** —
+  a capacity-``nsegments`` resource stands in for the try-lock search
+  (when every segment is locked the kernel stalls, the contention the
+  segmenting was introduced to bound);
+* the **TSU Emulator process** drains the queue: per-item base cost plus a
+  per-consumer Ready-Count update cost (TKT lookup + SM decrement).  The
+  post-processing of a DThread therefore lands *later* than its
+  completion — the extra scheduling latency that makes TFluxSoft need
+  coarser DThreads than TFluxHard (paper §6.2.2);
+* fetches read the kernel's own SM: cheap and contention-free.
+
+All constants live in :class:`SoftTSUCosts` so the ablation benchmarks can
+sweep them.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Generator, Optional
+
+from repro.core.block import DDMBlock
+from repro.core.dthread import DThreadInstance
+from repro.sim.engine import Engine, Event, Resource
+from repro.tsu.base import ProtocolAdapter
+from repro.tsu.group import TSUGroup
+
+__all__ = ["SoftTSUCosts", "SoftwareTSUAdapter"]
+
+
+@dataclass(frozen=True)
+class SoftTSUCosts:
+    """Cycle costs of the software TSU protocol (Xeon-calibrated defaults).
+
+    The absolute values are order-of-magnitude estimates of short critical
+    sections on a 2008-class x86 (a locked cache line costs tens to a few
+    hundred cycles); the evaluation only relies on their *ratio* to DThread
+    granularity, which the unrolling ablation sweeps explicitly.
+    """
+
+    fetch_cycles: int = 60
+    tub_push_cycles: int = 250
+    tub_segments: int = 8
+    emulator_per_item: int = 150
+    emulator_per_update: int = 120
+    emulator_poll_cycles: int = 80
+    inlet_per_entry: int = 90
+    outlet_cycles: int = 400
+
+
+class SoftwareTSUAdapter(ProtocolAdapter):
+    """Timed software-TSU protocol with an explicit emulator process."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        tsu: TSUGroup,
+        costs: SoftTSUCosts = SoftTSUCosts(),
+    ) -> None:
+        super().__init__(engine, tsu)
+        self.costs = costs
+        self._tub_slots = Resource(engine, capacity=costs.tub_segments, name="tub")
+        self._queue: deque[tuple[int, int]] = deque()  # (kernel, local_iid)
+        self._emulator_wake: Optional[Event] = None
+        self._emulator_started = False
+        self._shutdown = False
+        # Statistics.
+        self.emulator_busy_cycles = 0
+        self.emulator_items = 0
+        self.emulator_updates = 0
+        self.tub_pushes = 0
+
+    # -- emulator lifecycle ------------------------------------------------------
+    def start(self) -> None:
+        """Launch the TSU Emulator process (idempotent)."""
+        if not self._emulator_started:
+            self._emulator_started = True
+            self.engine.process(self._emulator_proc(), name="tsu-emulator")
+
+    def shutdown(self) -> None:
+        self._shutdown = True
+        self._kick_emulator()
+
+    def _kick_emulator(self) -> None:
+        if self._emulator_wake is not None and not self._emulator_wake.triggered:
+            self._emulator_wake.succeed()
+
+    def _emulator_proc(self) -> Generator:
+        """The dedicated-core loop: drain the TUB, apply post-processing."""
+        costs = self.costs
+        while True:
+            if self._queue:
+                kernel, local_iid = self._queue.popleft()
+                nconsumers = len(self.tsu.current_block.consumers[local_iid])
+                busy = costs.emulator_per_item + costs.emulator_per_update * nconsumers
+                yield busy
+                self.emulator_busy_cycles += busy
+                self.emulator_items += 1
+                self.emulator_updates += nconsumers
+                self._apply_thread_completion(kernel, local_iid)
+            elif self._shutdown:
+                return
+            else:
+                self._emulator_wake = Event(self.engine, name="tub-nonempty")
+                yield self._emulator_wake
+                self._emulator_wake = None
+
+    # -- protocol costs -----------------------------------------------------------
+    def fetch(self, kernel: int) -> Generator:
+        yield self.costs.fetch_cycles
+        return self.tsu.fetch(kernel)
+
+    def complete_inlet(self, kernel: int, block: DDMBlock) -> Generator:
+        yield self.costs.inlet_per_entry * max(block.size, 1)
+        self.tsu.complete_inlet(kernel)
+        self.wake_kernels()
+
+    def complete_thread(
+        self, kernel: int, local_iid: int, instance: DThreadInstance
+    ) -> Generator:
+        # Find a free TUB segment (try/lock; blocking only when all
+        # segments are simultaneously held).
+        grant = self._tub_slots.request()
+        yield grant
+        try:
+            yield self.costs.tub_push_cycles
+        finally:
+            self._tub_slots.release()
+        self._queue.append((kernel, local_iid))
+        self.tub_pushes += 1
+        self._kick_emulator()
+
+    def complete_outlet(self, kernel: int, block: DDMBlock) -> Generator:
+        yield self.costs.outlet_cycles
+        self.tsu.complete_outlet(kernel)
+        self.wake_kernels()

@@ -1,0 +1,203 @@
+"""Tests for DThread templates, contexts, and the Synchronization Graph."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.context import CTX_ALL, context_range, normalize_context
+from repro.core.dthread import DThreadTemplate, ThreadKind
+from repro.core.graph import GraphError, SynchronizationGraph
+
+
+# -- contexts -----------------------------------------------------------
+def test_normalize_scalar():
+    assert normalize_context(3) == 3
+
+
+def test_normalize_singleton_tuple_collapses():
+    assert normalize_context((5,)) == 5
+
+
+def test_normalize_tuple():
+    assert normalize_context((1, 2)) == (1, 2)
+
+
+def test_context_range_1d():
+    assert context_range(3) == [0, 1, 2]
+
+
+def test_context_range_2d():
+    assert context_range(2, 2) == [(0, 0), (0, 1), (1, 0), (1, 1)]
+
+
+def test_context_range_empty():
+    assert context_range() == [0]
+
+
+def test_ctx_all_singleton():
+    from repro.core.context import _All
+
+    assert _All() is CTX_ALL
+
+
+# -- templates -----------------------------------------------------------
+def test_template_defaults():
+    t = DThreadTemplate(tid=1, name="t")
+    assert t.ninstances == 1
+    assert t.kind == ThreadKind.APPLICATION
+    assert t.compute_cost(None, 0) > 0
+    assert len(t.access_summary(None, 0)) == 0
+
+
+def test_template_duplicate_contexts_rejected():
+    with pytest.raises(ValueError):
+        DThreadTemplate(tid=1, name="t", contexts=[0, 0])
+
+
+def test_template_negative_tid_rejected():
+    with pytest.raises(ValueError):
+        DThreadTemplate(tid=-1, name="t")
+
+
+def test_template_empty_contexts_rejected():
+    with pytest.raises(ValueError):
+        DThreadTemplate(tid=1, name="t", contexts=[])
+
+
+def test_template_run_executes_body():
+    hits = []
+    t = DThreadTemplate(tid=1, name="t", body=lambda env, ctx: hits.append(ctx))
+    t.run(None, 7)
+    assert hits == [7]
+
+
+# -- graph construction -----------------------------------------------------
+def simple_graph():
+    g = SynchronizationGraph()
+    g.add_template(DThreadTemplate(tid=1, name="a", contexts=range(4)))
+    g.add_template(DThreadTemplate(tid=2, name="b", contexts=range(4)))
+    g.add_template(DThreadTemplate(tid=3, name="reduce"))
+    g.add_arc(1, 2, "same")
+    g.add_arc(2, 3, "all")
+    return g
+
+
+def test_duplicate_template_rejected():
+    g = SynchronizationGraph()
+    g.add_template(DThreadTemplate(tid=1, name="a"))
+    with pytest.raises(GraphError):
+        g.add_template(DThreadTemplate(tid=1, name="b"))
+
+
+def test_arc_unknown_template_rejected():
+    g = SynchronizationGraph()
+    g.add_template(DThreadTemplate(tid=1, name="a"))
+    with pytest.raises(GraphError):
+        g.add_arc(1, 99)
+
+
+def test_self_arc_rejected():
+    g = SynchronizationGraph()
+    g.add_template(DThreadTemplate(tid=1, name="a"))
+    with pytest.raises(GraphError):
+        g.add_arc(1, 1)
+
+
+def test_cycle_detected():
+    g = SynchronizationGraph()
+    for tid, name in [(1, "a"), (2, "b"), (3, "c")]:
+        g.add_template(DThreadTemplate(tid=tid, name=name))
+    g.add_arc(1, 2)
+    g.add_arc(2, 3)
+    g.add_arc(3, 1)
+    with pytest.raises(GraphError, match="cycle"):
+        g.validate()
+
+
+def test_dag_validates():
+    simple_graph().validate()
+
+
+# -- expansion ------------------------------------------------------------
+def test_expand_same_mapping():
+    g = simple_graph()
+    eg = g.expand()
+    assert eg.ninstances == 9  # 4 + 4 + 1
+    eg.check_invariants()
+    # a[i] feeds b[i]
+    for i in range(4):
+        src = eg.iid_of(1, i)
+        dst = eg.iid_of(2, i)
+        assert eg.consumers[src] == [dst]
+        assert eg.ready_counts[dst] == 1
+
+
+def test_expand_all_mapping_reduction():
+    g = simple_graph()
+    eg = g.expand()
+    red = eg.iid_of(3, 0)
+    assert eg.ready_counts[red] == 4
+    for i in range(4):
+        assert red in eg.consumers[eg.iid_of(2, i)]
+
+
+def test_expand_entry_instances():
+    eg = simple_graph().expand()
+    assert sorted(eg.entry) == [eg.iid_of(1, i) for i in range(4)]
+
+
+def test_expand_callable_mapping_tree():
+    """A two-level binary merge tree as in the paper's QSORT (§6.1.2)."""
+    g = SynchronizationGraph()
+    g.add_template(DThreadTemplate(tid=1, name="sort", contexts=range(4)))
+    g.add_template(DThreadTemplate(tid=2, name="merge1", contexts=range(2)))
+    g.add_template(DThreadTemplate(tid=3, name="merge2"))
+    g.add_arc(1, 2, mapping=lambda ctx: [ctx // 2])
+    g.add_arc(2, 3, "all")
+    eg = g.expand()
+    eg.check_invariants()
+    for i in range(2):
+        assert eg.ready_counts[eg.iid_of(2, i)] == 2
+    assert eg.ready_counts[eg.iid_of(3, 0)] == 2
+
+
+def test_expand_bad_mapping_target_rejected():
+    g = SynchronizationGraph()
+    g.add_template(DThreadTemplate(tid=1, name="a", contexts=range(2)))
+    g.add_template(DThreadTemplate(tid=2, name="b", contexts=range(2)))
+    g.add_arc(1, 2, mapping=lambda ctx: [ctx + 5])
+    with pytest.raises(GraphError, match="nonexistent"):
+        g.expand()
+
+
+def test_expand_unknown_string_mapping_rejected():
+    g = SynchronizationGraph()
+    g.add_template(DThreadTemplate(tid=1, name="a"))
+    g.add_template(DThreadTemplate(tid=2, name="b"))
+    g.add_arc(1, 2, mapping="bogus")
+    with pytest.raises(GraphError):
+        g.expand()
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    widths=st.lists(st.integers(min_value=1, max_value=6), min_size=1, max_size=5),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+def test_layered_graph_expansion_invariants(widths, seed):
+    """Random layered DAGs expand with consistent ready counts."""
+    import random
+
+    rng = random.Random(seed)
+    g = SynchronizationGraph()
+    for layer, w in enumerate(widths):
+        g.add_template(DThreadTemplate(tid=layer + 1, name=f"L{layer}", contexts=range(w)))
+    for layer in range(len(widths) - 1):
+        mapping = rng.choice(["same", "all"])
+        if mapping == "same" and widths[layer] != widths[layer + 1]:
+            mapping = "all"
+        g.add_arc(layer + 1, layer + 2, mapping)
+    eg = g.expand()
+    eg.check_invariants()
+    assert eg.ninstances == sum(widths)
+    # Entry fringe is exactly the first layer.
+    assert sorted(eg.entry) == [eg.iid_of(1, i) for i in range(widths[0])]

@@ -1,0 +1,203 @@
+"""Tests for the vectorised memory model, including cross-validation
+against the exact MESI model on the workload-style access patterns."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.accesses import AccessSummary, RegionSpace
+from repro.sim.cache import CacheConfig, CoherentMemorySystem, MemoryConfig
+from repro.sim.fastcache import FastMemorySystem
+
+L1 = CacheConfig(size=1024, line_size=64, assoc=2, read_latency=2, write_latency=0)
+L2 = CacheConfig(size=8192, line_size=64, assoc=4, read_latency=20, write_latency=20)
+MEM = MemoryConfig(dram_latency=100, cache_to_cache_latency=40, upgrade_latency=8)
+
+
+def make_pair(ncores=2, regions=(("R", 64 * 512),), l2_groups=None):
+    space = RegionSpace()
+    for name, size in regions:
+        space.region(name, size)
+    exact = CoherentMemorySystem(ncores, L1, L2, MEM, space, l2_groups=l2_groups)
+    fast = FastMemorySystem(ncores, L1, L2, MEM, space, l2_groups=l2_groups)
+    return space, exact, fast
+
+
+def summary_read(space, name, **kw):
+    return AccessSummary().read(space.get(name), **kw)
+
+
+def summary_write(space, name, **kw):
+    return AccessSummary().write(space.get(name), **kw)
+
+
+def test_cold_stream_matches_exact():
+    space, exact, fast = make_pair()
+    s = summary_read(space, "R")
+    ce = exact.run_summary(0, s)
+    cf = fast.run_summary(0, s)
+    assert ce == cf
+    assert exact.stats[0].mem_misses == fast.stats[0].mem_misses == 512
+
+
+def test_small_footprint_reuse_matches_exact():
+    space, exact, fast = make_pair(regions=(("S", 8 * 64),))
+    s = AccessSummary().read(space.get("S"), reps=5)
+    ce = exact.run_summary(0, s)
+    cf = fast.run_summary(0, s)
+    assert ce == cf
+    assert fast.stats[0].l1_hits == exact.stats[0].l1_hits == 32
+
+
+def test_producer_consumer_coherence_matches_exact():
+    space, exact, fast = make_pair(regions=(("S", 16 * 64),))
+    w = summary_write(space, "S")
+    r = summary_read(space, "S")
+    for model in (exact, fast):
+        model.run_summary(0, w)
+        model.run_summary(1, r)
+    assert exact.stats[1].coherence_misses == 16
+    assert fast.stats[1].coherence_misses == 16
+    assert exact.stats[1].cycles == fast.stats[1].cycles
+
+
+def test_upgrade_on_shared_write():
+    space, exact, fast = make_pair(regions=(("S", 4 * 64),))
+    r = summary_read(space, "S")
+    w = summary_write(space, "S")
+    for model in (exact, fast):
+        model.run_summary(0, r)
+        model.run_summary(1, r)
+        model.run_summary(0, w)
+    assert exact.stats[0].upgrades == 4
+    assert fast.stats[0].upgrades == 4
+
+
+def test_write_after_remote_write_is_coherence_miss():
+    space, exact, fast = make_pair(regions=(("S", 4 * 64),))
+    w = summary_write(space, "S")
+    for model in (exact, fast):
+        model.run_summary(0, w)
+        model.run_summary(1, w)
+    assert exact.stats[1].coherence_misses == 4
+    assert fast.stats[1].coherence_misses == 4
+
+
+def test_capacity_eviction_approximation():
+    """Streaming far beyond L1 capacity: both models show ~0 reuse hits."""
+    space, exact, fast = make_pair(regions=(("BIG", 64 * 1024),))  # 1024 lines
+    s = AccessSummary().read(space.get("BIG"), reps=2)
+    exact.run_summary(0, s)
+    fast.run_summary(0, s)
+    # Footprint (1024 lines) >> L1 (16 lines): second sweep misses L1 in
+    # both models; it hits L2 partially in neither (footprint > L2 too? L2
+    # holds 128 lines, footprint 1024 -> mostly misses).
+    for model in (exact, fast):
+        st_ = model.stats[0]
+        assert st_.l1_hits <= st_.accesses * 0.05
+
+
+def test_l2_reuse_between_sweeps():
+    """Footprint fits L2 but not L1: second sweep served from L2 (mostly).
+
+    Both models keep a small resident tail in L1 (the last ~16 of 64
+    lines), so the second sweep splits into a few L1 hits plus L2 hits —
+    and crucially zero extra memory misses.
+    """
+    space, exact, fast = make_pair(regions=(("MID", 64 * 64),))  # 64 lines
+    s = AccessSummary().read(space.get("MID"), reps=2)
+    for model in (exact, fast):
+        model.run_summary(0, s)
+        st_ = model.stats[0]
+        assert st_.mem_misses == 64
+        assert st_.l1_hits + st_.l2_hits == 64
+        assert st_.l2_hits >= 40
+
+
+def test_shared_l2_groups():
+    space, exact, fast = make_pair(
+        ncores=2, regions=(("S", 8 * 64),), l2_groups=[0, 0]
+    )
+    r = summary_read(space, "S")
+    for model in (exact, fast):
+        model.run_summary(0, r)
+        model.run_summary(1, r)
+        assert model.stats[1].l2_hits == 8
+
+
+def test_strided_column_access():
+    """Column sweeps (stride >> line) touch one line per element."""
+    space = RegionSpace()
+    m = space.region("M", 64 * 64 * 8)  # 64x64 doubles
+    fast = FastMemorySystem(1, L1, L2, MEM, space)
+    col = AccessSummary().read(m, offset=0, count=64, elem_size=8, stride=64 * 8)
+    fast.run_summary(0, col)
+    assert fast.stats[0].accesses == 64
+
+
+def test_stats_conservation_fast():
+    space, _exact, fast = make_pair(regions=(("S", 32 * 64),))
+    fast.run_summary(0, summary_write(space, "S"))
+    fast.run_summary(1, summary_read(space, "S"))
+    fast.run_summary(0, summary_read(space, "S", reps=3))
+    for st_ in fast.stats:
+        assert (
+            st_.l1_hits + st_.l2_hits + st_.mem_misses + st_.coherence_misses
+            == st_.accesses
+        )
+
+
+def test_too_many_cores_rejected():
+    space = RegionSpace()
+    space.region("R", 64)
+    with pytest.raises(ValueError):
+        FastMemorySystem(64, L1, L2, MEM, space)
+
+
+def test_lazy_region_declaration():
+    space = RegionSpace()
+    fast = FastMemorySystem(1, L1, L2, MEM, space)
+    late = space.region("LATE", 8 * 64)
+    cycles = fast.run_summary(0, AccessSummary().read(late))
+    assert cycles > 0
+    assert fast.stats[0].mem_misses == 8
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    pattern=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=2),  # core
+            st.booleans(),  # write?
+            st.integers(min_value=0, max_value=7),  # chunk index
+        ),
+        min_size=1,
+        max_size=30,
+    )
+)
+def test_cross_validation_chunked_traffic(pattern):
+    """Exact vs fast agreement on chunked producer/consumer traffic.
+
+    Chunks are 8 lines (512B); with an L1 of 16 lines, recently-touched
+    chunks stay resident in both models, so classifications should agree
+    closely on this workload-shaped (streaming, chunked) traffic.
+    """
+    space, exact, fast = make_pair(ncores=3, regions=(("C", 8 * 8 * 64),))
+    region = space.get("C")
+    for core, write, chunk in pattern:
+        s = AccessSummary()
+        kw = dict(offset=chunk * 8 * 64, count=64, elem_size=8, stride=8)
+        (s.write if write else s.read)(region, **kw)
+        exact.run_summary(core, s)
+        fast.run_summary(core, s)
+    for c in range(3):
+        se, sf = exact.stats[c], fast.stats[c]
+        assert se.accesses == sf.accesses
+        assert se.coherence_misses == sf.coherence_misses
+        # The fast model is fully-associative time-distance LRU; the exact
+        # model is 2-way set-associative.  They agree on streaming and
+        # producer/consumer traffic but may split hits differently when an
+        # *older* chunk is re-touched between two touches of another chunk
+        # (stack reordering the time-distance clock cannot see).  Allow
+        # that bounded divergence; DRAM-level misses stay close.
+        assert abs(se.l1_hits - sf.l1_hits) <= max(8, se.accesses * 0.35)
+        assert abs(se.mem_misses - sf.mem_misses) <= max(8, se.accesses * 0.35)

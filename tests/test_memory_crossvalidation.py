@@ -1,0 +1,68 @@
+"""App-level cross-validation of the exact and fast memory models.
+
+The unit-level cross-validation lives in test_fastcache.py; here whole
+benchmark programs run under both models and their *cycle totals* and
+miss profiles must agree closely — the evidence that using the fast
+model for the figure sweeps does not change any reported shape.
+"""
+
+import pytest
+
+from repro.apps import get_benchmark
+from repro.apps.common import ProblemSize
+from repro.platforms import TFluxHard
+from repro.runtime.simdriver import SimulatedRuntime
+from repro.sim.machine import BAGLE_27
+from repro.tsu.hardware import HardwareTSUAdapter
+
+# Tiny inputs so the exact (line-by-line Python) model stays fast.
+TINY = {
+    "trapez": ProblemSize("trapez", "S", "tiny", {"k": 14}),
+    "mmult": ProblemSize("mmult", "S", "tiny", {"n": 32}),
+    "qsort": ProblemSize("qsort", "S", "tiny", {"n": 2000}),
+    "susan": ProblemSize("susan", "S", "tiny", {"w": 64, "h": 48}),
+    "fft": ProblemSize("fft", "S", "tiny", {"n": 16}),
+}
+
+
+def run_both(name: str, nkernels: int = 4, unroll: int = 4):
+    bench = get_benchmark(name)
+    out = {}
+    for exact in (False, True):
+        prog = bench.build(TINY[name], unroll=unroll, max_threads=128)
+        res = SimulatedRuntime(
+            prog,
+            BAGLE_27,
+            nkernels=nkernels,
+            adapter_factory=lambda e, t: HardwareTSUAdapter(e, t),
+            exact_memory=exact,
+        ).run()
+        bench.verify(res.env, TINY[name])
+        out["exact" if exact else "fast"] = res
+    return out
+
+
+@pytest.mark.parametrize("name", sorted(TINY))
+def test_cycle_totals_agree(name):
+    res = run_both(name)
+    fast, exact = res["fast"].region_cycles, res["exact"].region_cycles
+    assert fast == pytest.approx(exact, rel=0.15), (
+        f"{name}: fast {fast:,} vs exact {exact:,}"
+    )
+
+
+@pytest.mark.parametrize("name", sorted(TINY))
+def test_access_counts_identical(name):
+    """Both models process the same declared sweeps."""
+    res = run_both(name)
+    assert res["fast"].memory.accesses == res["exact"].memory.accesses
+
+
+@pytest.mark.parametrize("name", ["mmult", "qsort"])
+def test_coherence_profiles_close(name):
+    """Producer/consumer coherence transfers match closely (they are
+    exact per line in both models)."""
+    res = run_both(name)
+    f = res["fast"].memory.coherence_misses
+    e = res["exact"].memory.coherence_misses
+    assert f == pytest.approx(e, rel=0.2, abs=32), f"{name}: {f} vs {e}"

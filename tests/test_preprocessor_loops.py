@@ -1,0 +1,203 @@
+"""Tests for the ``#pragma ddm for thread`` loop directive."""
+
+import numpy as np
+import pytest
+
+from repro.preprocessor import DDMSyntaxError, compile_to_program, emit_module
+
+
+def loop_source(header="for thread 1 unroll(8)", loop="for (i = 0; i < 100; i++)"):
+    return f"""
+#pragma ddm startprogram name(loops)
+#pragma ddm var double a[100]
+#pragma ddm var double total
+#pragma ddm {header}
+  int i;
+  {loop} {{
+    a[i] = i * 2.0;
+  }}
+#pragma ddm endfor
+#pragma ddm thread 2 depends(1 all)
+  int i;
+  total = 0;
+  for (i = 0; i < 100; i++) total = total + a[i];
+#pragma ddm endthread
+#pragma ddm endprogram
+"""
+
+
+def test_loop_thread_splits_iterations():
+    prog = compile_to_program(loop_source())
+    assert prog.ninstances == 14  # ceil(100/8) + reducer
+    env = prog.run_sequential()
+    np.testing.assert_array_equal(env.array("a"), np.arange(100) * 2.0)
+    assert env.get("total") == sum(i * 2.0 for i in range(100))
+
+
+def test_loop_thread_default_unroll_one():
+    prog = compile_to_program(loop_source(header="for thread 1"))
+    assert prog.ninstances == 101
+
+
+def test_loop_thread_unroll_larger_than_trip():
+    prog = compile_to_program(loop_source(header="for thread 1 unroll(1000)"))
+    assert prog.ninstances == 2  # single instance + reducer
+    env = prog.run_sequential()
+    assert env.get("total") == sum(i * 2.0 for i in range(100))
+
+
+def test_loop_thread_with_step():
+    src = """
+#pragma ddm startprogram name(stepped)
+#pragma ddm var double a[100]
+#pragma ddm for thread 1 unroll(4)
+  int i;
+  for (i = 0; i < 100; i += 3) {
+    a[i] = 1;
+  }
+#pragma ddm endfor
+#pragma ddm endprogram
+"""
+    prog = compile_to_program(src)
+    env = prog.run_sequential()
+    expected = np.zeros(100)
+    expected[::3] = 1
+    np.testing.assert_array_equal(env.array("a"), expected)
+
+
+def test_loop_thread_le_bound():
+    src = loop_source(loop="for (i = 0; i <= 99; i++)")
+    env = compile_to_program(src).run_sequential()
+    assert env.get("total") == sum(i * 2.0 for i in range(100))
+
+
+def test_loop_thread_parallel_on_platform():
+    from repro.platforms import TFluxHard
+
+    prog = compile_to_program(loop_source())
+    res = TFluxHard().execute(prog, nkernels=6)
+    assert res.env.get("total") == sum(i * 2.0 for i in range(100))
+
+
+def test_loop_thread_non_canonical_rejected():
+    src = loop_source(loop="for (i = 0; i < 100; i = i * 2 + 1)")
+    with pytest.raises(DDMSyntaxError, match="canonical"):
+        compile_to_program(src)
+
+
+def test_loop_thread_nonconstant_bound_rejected():
+    src = loop_source(loop="for (i = 0; i < n_items; i++)")
+    with pytest.raises(DDMSyntaxError, match="constant"):
+        compile_to_program(src)
+
+
+def test_loop_thread_descending_rejected():
+    src = loop_source(loop="for (i = 100; i > 0; i--)")
+    with pytest.raises(DDMSyntaxError):
+        compile_to_program(src)
+
+
+def test_loop_thread_extra_statements_rejected():
+    src = """
+#pragma ddm startprogram name(bad)
+#pragma ddm var double a[10]
+#pragma ddm for thread 1
+  int i;
+  a[0] = 1;
+  for (i = 0; i < 10; i++) a[i] = i;
+#pragma ddm endfor
+#pragma ddm endprogram
+"""
+    with pytest.raises(DDMSyntaxError, match="one for loop"):
+        compile_to_program(src)
+
+
+def test_endthread_on_for_thread_rejected():
+    src = loop_source().replace("#pragma ddm endfor", "#pragma ddm endthread")
+    with pytest.raises(DDMSyntaxError, match="endfor"):
+        compile_to_program(src)
+
+
+def test_endfor_without_for_rejected():
+    src = """
+#pragma ddm startprogram name(bad)
+#pragma ddm thread 1
+  ;
+#pragma ddm endfor
+#pragma ddm endprogram
+"""
+    with pytest.raises(DDMSyntaxError, match="endfor"):
+        compile_to_program(src)
+
+
+def test_loop_thread_emitted_module_compiles():
+    code = emit_module(loop_source())
+    compile(code, "<generated>", "exec")
+    assert "contexts=13" in code
+
+
+def test_loop_thread_with_map_consumer():
+    """Loop-thread producing into a mapped consumer tree."""
+    src = """
+#pragma ddm startprogram name(looptree)
+#pragma ddm var double a[16]
+#pragma ddm var double pair[8]
+#pragma ddm for thread 1 unroll(2)
+  int i;
+  for (i = 0; i < 16; i++) {
+    a[i] = i;
+  }
+#pragma ddm endfor
+#pragma ddm thread 2 context(8) depends(1 map(CTX))
+  pair[CTX] = a[2 * CTX] + a[2 * CTX + 1];
+#pragma ddm endthread
+#pragma ddm endprogram
+"""
+    env = compile_to_program(src).run_sequential()
+    np.testing.assert_array_equal(
+        env.array("pair"), [2 * i + (2 * i + 1) for i in range(8)]
+    )
+
+
+def test_loop_thread_keeps_initialized_declarations():
+    """Regression: declarations with initializers preceding the loop must
+    be emitted, not dropped."""
+    src = """
+#pragma ddm startprogram name(decls)
+#pragma ddm var double a[8]
+#pragma ddm for thread 1 unroll(4)
+  int i;
+  double scale = 0.5;
+  for (i = 0; i < 8; i++) {
+    a[i] = scale * i;
+  }
+#pragma ddm endfor
+#pragma ddm endprogram
+"""
+    env = compile_to_program(src).run_sequential()
+    np.testing.assert_array_equal(env.array("a"), np.arange(8) * 0.5)
+
+
+def test_continue_in_canonical_loop_nested_in_noncanonical():
+    """Regression: continue inside a canonical inner loop is legal even
+    when the outer loop uses the while-transform."""
+    src = """
+#pragma ddm startprogram name(nest)
+#pragma ddm var int x
+#pragma ddm thread 1
+  int i, j;
+  x = 0;
+  for (i = 1; i < 10; i = i * 2) {
+    for (j = 0; j < 4; j++) {
+      if (j == 2) continue;
+      x = x + 1;
+    }
+  }
+#pragma ddm endfor
+#pragma ddm endthread
+#pragma ddm endprogram
+"""
+    src = src.replace("#pragma ddm endfor\n", "")  # plain thread body
+    env = compile_to_program(src).run_sequential()
+    # outer i = 1,2,4,8 (4 iterations) x inner 3 counted js = 12.
+    assert env.get("x") == 12

@@ -1,0 +1,67 @@
+"""Tests for the repeated-measurement statistics helper."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.runstats import Measurement, measure_native, summarize
+from repro.core import ProgramBuilder
+from repro.runtime.native import NativeRuntime
+
+
+def test_summarize_basic():
+    m = summarize([1.0, 2.0, 3.0])
+    assert m.mean == 2.0
+    assert m.stdev == 1.0
+    assert m.n == 3
+    # t(2) = 4.303 -> half width = 4.303 * 1 / sqrt(3)
+    assert m.ci95_half_width == pytest.approx(4.303 / 3**0.5, rel=1e-6)
+
+
+def test_summarize_single_sample():
+    m = summarize([5.0])
+    assert m.mean == 5.0
+    assert m.ci95_half_width == float("inf")
+
+
+def test_summarize_empty_rejected():
+    with pytest.raises(ValueError):
+        summarize([])
+
+
+def test_summarize_constant_samples():
+    m = summarize([2.0] * 8)
+    assert m.stdev == 0.0
+    assert m.ci95_half_width == 0.0
+    assert m.relative_ci == 0.0
+
+
+def test_str_format():
+    text = str(summarize([0.001, 0.002, 0.0015]))
+    assert "ms" in text and "n=3" in text
+
+
+@given(st.lists(st.floats(min_value=0.5, max_value=2.0), min_size=2, max_size=40))
+def test_ci_contains_mean_and_shrinks(samples):
+    m = summarize(samples)
+    assert m.ci95_half_width >= 0
+    # 1-ULP tolerance: sum()/n can round a hair past the extremes when
+    # every sample is identical.
+    eps = 1e-12
+    assert min(samples) - eps <= m.mean <= max(samples) + eps
+
+
+def test_measure_native_end_to_end():
+    def factory():
+        b = ProgramBuilder("stat")
+        b.thread("t", body=lambda env, _: env.set("x", 1), contexts=4)
+        return NativeRuntime(b.build(), nkernels=2).run()
+
+    m, last = measure_native(factory, runs=3, warmup=1)
+    assert m.n == 3
+    assert m.mean > 0
+    assert last.env.get("x") == 1
+
+
+def test_measure_native_rejects_zero_runs():
+    with pytest.raises(ValueError):
+        measure_native(lambda: None, runs=0)

@@ -1,0 +1,196 @@
+"""Tests for bus, MMI, machine configs, main memory, and core stats."""
+
+import pytest
+
+from repro.sim.cpu import Core, CoreStats
+from repro.sim.engine import Engine
+from repro.sim.interconnect import SystemBus
+from repro.sim.machine import BAGLE_27, CELL_PS3, X86_9_SIM, XEON_8
+from repro.sim.memory import MainMemory
+from repro.sim.mmi import MemoryMappedInterface
+from repro.sim.accesses import RegionSpace
+
+
+# -- SystemBus ------------------------------------------------------------
+def test_bus_serialises_transactions():
+    eng = Engine()
+    bus = SystemBus(eng, cycles_per_transaction=10)
+    done = []
+
+    def user(tag):
+        yield from bus.transfer()
+        done.append((eng.now, tag))
+
+    eng.process(user("a"))
+    eng.process(user("b"))
+    eng.run()
+    assert done == [(10, "a"), (20, "b")]
+    assert bus.transactions == 2
+    assert bus.busy_cycles == 20
+
+
+def test_bus_payload_extends_occupancy():
+    eng = Engine()
+    bus = SystemBus(eng, cycles_per_transaction=2)
+
+    def user():
+        yield from bus.transfer(payload_cycles=8)
+
+    eng.process(user())
+    eng.run()
+    assert eng.now == 10
+
+
+# -- MMI --------------------------------------------------------------------
+def test_mmi_query_roundtrip_cost():
+    eng = Engine()
+    bus = SystemBus(eng, cycles_per_transaction=2)
+    mmi = MemoryMappedInterface(eng, bus, tsu_processing_cycles=4, l1_access_cycles=2)
+
+    def proc():
+        value = yield from mmi.query(lambda: "reply")
+        return (eng.now, value)
+
+    p = eng.process(proc())
+    eng.run()
+    # bus (2) + access (2+4) + reply bus (2) = 10.
+    assert p.value == (10, "reply")
+    assert mmi.queries == 1
+
+
+def test_mmi_command_is_posted():
+    eng = Engine()
+    bus = SystemBus(eng)
+    mmi = MemoryMappedInterface(eng, bus)
+    hits = []
+
+    def proc():
+        yield from mmi.command(lambda: hits.append(eng.now))
+
+    eng.process(proc())
+    eng.run()
+    assert len(hits) == 1
+    assert mmi.commands == 1
+
+
+def test_mmi_port_contention():
+    """Two simultaneous queries serialise at the single TSU port."""
+    eng = Engine()
+    bus = SystemBus(eng, cycles_per_transaction=1)
+    mmi = MemoryMappedInterface(eng, bus, tsu_processing_cycles=50)
+    times = []
+
+    def proc():
+        yield from mmi.query(lambda: None)
+        times.append(eng.now)
+
+    eng.process(proc())
+    eng.process(proc())
+    eng.run()
+    assert times[1] - times[0] >= 50
+
+
+# -- machine configs -------------------------------------------------------------
+def test_machine_kernel_budgets():
+    assert BAGLE_27.max_kernels == 27
+    assert XEON_8.max_kernels == 7  # OS only; TSU core subtracted by platform
+    assert X86_9_SIM.max_kernels == 8
+    assert CELL_PS3.cell.n_spes == 6
+
+
+def test_xeon_l2_pairing():
+    groups = XEON_8.l2_groups()
+    assert groups == [0, 0, 1, 1, 2, 2, 3, 3]
+
+
+def test_bagle_private_l2s():
+    assert BAGLE_27.l2_groups() == list(range(28))
+
+
+def test_machine_memory_system_factories():
+    space = RegionSpace()
+    space.region("r", 4096)
+    fast = BAGLE_27.memory_system(space)
+    exact = BAGLE_27.memory_system(space, exact=True)
+    from repro.sim.cache import CoherentMemorySystem
+    from repro.sim.fastcache import FastMemorySystem
+
+    assert isinstance(fast, FastMemorySystem)
+    assert isinstance(exact, CoherentMemorySystem)
+
+
+def test_with_cores_preserves_caches():
+    smaller = BAGLE_27.with_cores(8)
+    assert smaller.ncores == 8
+    assert smaller.l1 == BAGLE_27.l1
+    assert smaller.l2 == BAGLE_27.l2
+
+
+def test_paper_cache_parameters():
+    """§6.1.1 / §6.2.1 parameters encoded exactly."""
+    assert BAGLE_27.l1.size == 32 * 1024
+    assert BAGLE_27.l1.assoc == 4
+    assert BAGLE_27.l1.read_latency == 2
+    assert BAGLE_27.l1.write_latency == 0
+    assert BAGLE_27.l2.size == 2 * 1024 * 1024
+    assert BAGLE_27.l2.read_latency == 20
+    assert XEON_8.l1.read_latency == 3
+    assert XEON_8.l2.size == 4 * 1024 * 1024
+    assert XEON_8.l2.read_latency == 14
+    assert CELL_PS3.dram_bytes == 256 << 20
+    assert CELL_PS3.cell.local_store_bytes == 256 * 1024
+
+
+# -- MainMemory ------------------------------------------------------------------
+def test_main_memory_allocation():
+    mem = MainMemory(capacity=1000, line_size=64)
+    a = mem.allocate(400)
+    b = mem.allocate(500)
+    assert (a, b) == (0, 400)
+    assert mem.free_bytes() == 100
+    with pytest.raises(MemoryError):
+        mem.allocate(200)
+
+
+def test_main_memory_traffic():
+    mem = MainMemory(capacity=1 << 20, line_size=64)
+    mem.record_read(100)  # 2 lines
+    mem.record_write(64)
+    assert mem.lines_read == 2
+    assert mem.lines_written == 1
+    assert mem.traffic_bytes == 192
+
+
+# -- Core stats --------------------------------------------------------------------
+def test_core_stats_accounting():
+    core = Core(0)
+    core.charge_compute(100)
+    core.charge_memory(50)
+    core.charge_runtime(25)
+    core.charge_idle(25)
+    core.finished_dthread()
+    s = core.stats
+    assert s.busy_cycles == 175
+    assert s.total_cycles == 200
+    assert s.utilisation() == 0.875
+    assert s.dthreads_executed == 1
+
+
+def test_core_stats_empty():
+    assert CoreStats().utilisation() == 0.0
+
+
+def test_runtime_enforces_physical_memory():
+    """A program whose shared arrays exceed the machine's DRAM must be
+    rejected up front (the PS3 has only 256 MB)."""
+    import dataclasses
+
+    from repro.core import ProgramBuilder
+    from repro.runtime.simdriver import SimulatedRuntime
+
+    tiny = dataclasses.replace(BAGLE_27, dram_bytes=1 << 20)  # 1 MB machine
+    b = ProgramBuilder("big")
+    b.env.alloc("huge", (1 << 18,))  # 2 MB of float64
+    b.thread("t", body=lambda env, _: None)
+    with pytest.raises(MemoryError):
+        SimulatedRuntime(b.build(), tiny, nkernels=1)

@@ -1,0 +1,297 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.sim.engine import Engine, Event, Resource, SimulationError
+
+
+def test_clock_starts_at_zero():
+    eng = Engine()
+    assert eng.now == 0.0
+
+
+def test_timeout_advances_clock():
+    eng = Engine()
+
+    def proc(eng):
+        yield 5
+        yield 7
+        return eng.now
+
+    p = eng.process(proc(eng))
+    eng.run()
+    assert p.value == 12
+    assert eng.now == 12
+
+
+def test_event_wait_and_value():
+    eng = Engine()
+    ev = eng.event("ping")
+
+    def producer(eng, ev):
+        yield 10
+        ev.succeed("pong")
+
+    def consumer(ev):
+        value = yield ev
+        return value
+
+    eng.process(producer(eng, ev))
+    c = eng.process(consumer(ev))
+    eng.run()
+    assert c.value == "pong"
+
+
+def test_wait_on_already_triggered_event():
+    eng = Engine()
+    ev = eng.event()
+    ev.succeed(42)
+
+    def consumer(ev):
+        v = yield ev
+        return v
+
+    c = eng.process(consumer(ev))
+    eng.run()
+    assert c.value == 42
+
+
+def test_event_double_trigger_rejected():
+    eng = Engine()
+    ev = eng.event()
+    ev.succeed(1)
+    with pytest.raises(SimulationError):
+        ev.succeed(2)
+
+
+def test_failed_event_raises_in_waiter():
+    eng = Engine()
+    ev = eng.event()
+
+    def consumer(ev):
+        try:
+            yield ev
+        except ValueError as exc:
+            return f"caught {exc}"
+
+    c = eng.process(consumer(ev))
+    ev.fail(ValueError("boom"))
+    eng.run()
+    assert c.value == "caught boom"
+
+
+def test_process_waits_on_process():
+    eng = Engine()
+
+    def inner():
+        yield 3
+        return "inner-done"
+
+    def outer(eng):
+        p = eng.process(inner())
+        result = yield p
+        return (eng.now, result)
+
+    o = eng.process(outer(eng))
+    eng.run()
+    assert o.value == (3, "inner-done")
+
+
+def test_run_until_pauses_clock():
+    eng = Engine()
+
+    def proc():
+        yield 100
+
+    eng.process(proc())
+    eng.run(until=40)
+    assert eng.now == 40
+    eng.run()
+    assert eng.now == 100
+
+
+def test_same_time_events_fifo_order():
+    eng = Engine()
+    order = []
+
+    def proc(tag):
+        yield 5
+        order.append(tag)
+
+    for tag in ("a", "b", "c"):
+        eng.process(proc(tag))
+    eng.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_resource_mutual_exclusion():
+    eng = Engine()
+    res = Resource(eng, capacity=1, name="bus")
+    timeline = []
+
+    def user(eng, res, tag, hold):
+        grant = res.request()
+        yield grant
+        timeline.append((eng.now, tag, "acquire"))
+        yield hold
+        res.release()
+        timeline.append((eng.now, tag, "release"))
+
+    eng.process(user(eng, res, "a", 10))
+    eng.process(user(eng, res, "b", 5))
+    eng.run()
+    assert timeline == [
+        (0, "a", "acquire"),
+        (10, "a", "release"),
+        (10, "b", "acquire"),
+        (15, "b", "release"),
+    ]
+
+
+def test_resource_capacity_two():
+    eng = Engine()
+    res = Resource(eng, capacity=2)
+    active = {"n": 0, "max": 0}
+
+    def user(eng, res):
+        grant = res.request()
+        yield grant
+        active["n"] += 1
+        active["max"] = max(active["max"], active["n"])
+        yield 5
+        active["n"] -= 1
+        res.release()
+
+    for _ in range(5):
+        eng.process(user(eng, res))
+    eng.run()
+    assert active["max"] == 2
+    assert active["n"] == 0
+
+
+def test_resource_release_when_idle_rejected():
+    eng = Engine()
+    res = Resource(eng)
+    with pytest.raises(SimulationError):
+        res.release()
+
+
+def test_resource_fifo_grant_order():
+    eng = Engine()
+    res = Resource(eng, capacity=1)
+    grants = []
+
+    def user(eng, res, tag):
+        grant = res.request()
+        yield grant
+        grants.append(tag)
+        yield 1
+        res.release()
+
+    for tag in range(6):
+        eng.process(user(eng, res, tag))
+    eng.run()
+    assert grants == list(range(6))
+
+
+def test_all_of_combines_events():
+    eng = Engine()
+    evs = [eng.event() for _ in range(3)]
+
+    def trigger(eng, ev, delay, value):
+        yield delay
+        ev.succeed(value)
+
+    for i, ev in enumerate(evs):
+        eng.process(trigger(eng, ev, 10 - i, i))
+
+    def waiter(eng, combined):
+        values = yield combined
+        return (eng.now, values)
+
+    w = eng.process(waiter(eng, eng.all_of(evs)))
+    eng.run()
+    assert w.value == (10, [0, 1, 2])
+
+
+def test_all_of_empty_triggers_immediately():
+    eng = Engine()
+
+    def waiter(combined):
+        v = yield combined
+        return v
+
+    w = eng.process(waiter(eng.all_of([])))
+    eng.run()
+    assert w.value == []
+
+
+def test_negative_delay_rejected():
+    eng = Engine()
+
+    def proc():
+        yield -1
+
+    eng.process(proc())
+    with pytest.raises(SimulationError):
+        eng.run()
+
+
+def test_bad_yield_target_raises_inside_process():
+    eng = Engine()
+
+    def proc():
+        try:
+            yield "not-a-valid-target"
+        except SimulationError:
+            return "handled"
+
+    p = eng.process(proc())
+    eng.run()
+    assert p.value == "handled"
+
+
+def test_many_interleaved_processes_deterministic():
+    def run_once():
+        eng = Engine()
+        trace = []
+
+        def worker(eng, tag, period, count):
+            for _ in range(count):
+                yield period
+                trace.append((eng.now, tag))
+
+        for tag, period in [("x", 3), ("y", 5), ("z", 7)]:
+            eng.process(worker(eng, tag, period, 10))
+        eng.run()
+        return trace
+
+    assert run_once() == run_once()
+    trace = run_once()
+    times = [t for (t, _) in trace]
+    assert times == sorted(times)
+
+
+def test_generator_recovers_from_bad_yield_with_new_target():
+    """Regression: a process that catches the unsupported-yield error and
+    yields a *valid* target afterwards must keep running (the recovered
+    target used to be dropped, stalling the process forever)."""
+    eng = Engine()
+
+    def proc(eng):
+        try:
+            yield "bogus"
+        except SimulationError:
+            yield 7  # recover with a real delay
+        return eng.now
+
+    p = eng.process(proc(eng))
+    eng.run()
+    assert p.value == 7
+
+
+def test_with_cores_rescales_l2_pattern():
+    from repro.sim.machine import XEON_8
+
+    four = XEON_8.with_cores(4)
+    assert four.l2_groups() == [0, 0, 1, 1]

@@ -1,0 +1,95 @@
+"""Tests for the execution tracer and Gantt rendering."""
+
+import pytest
+
+from repro.core import ProgramBuilder
+from repro.runtime.simdriver import SimulatedRuntime
+from repro.runtime.trace import Span, Tracer, render_gantt
+from repro.sim.machine import BAGLE_27
+from repro.tsu.hardware import HardwareTSUAdapter
+
+
+def traced_run(nchunks=8, nkernels=4, chunk_cost=1000):
+    b = ProgramBuilder("traced")
+    b.env.alloc("parts", nchunks)
+    t1 = b.thread(
+        "work",
+        body=lambda env, i: env.array("parts").__setitem__(i, i),
+        contexts=nchunks,
+        cost=lambda e, c: chunk_cost,
+    )
+    t2 = b.thread("total", body=lambda env, _: env.set("x", 1), cost=lambda e, c: 10)
+    b.depends(t1, t2, "all")
+    tracer = Tracer()
+    res = SimulatedRuntime(
+        b.build(),
+        BAGLE_27,
+        nkernels=nkernels,
+        adapter_factory=lambda e, t: HardwareTSUAdapter(e, t),
+        tracer=tracer,
+    ).run()
+    return tracer, res
+
+
+def test_spans_recorded_for_all_units():
+    tracer, res = traced_run(nchunks=8)
+    kinds = [s.kind for s in tracer.spans]
+    assert kinds.count("thread") == 9  # 8 work + 1 total
+    assert kinds.count("inlet") == 1
+    assert kinds.count("outlet") == 1
+
+
+def test_span_durations_positive_and_ordered():
+    tracer, _ = traced_run()
+    for s in tracer.spans:
+        assert s.end > s.start
+        assert s.duration == s.end - s.start
+
+
+def test_no_overlap_invariant():
+    tracer, _ = traced_run(nchunks=32, nkernels=8)
+    tracer.check_no_overlap()
+
+
+def test_overlap_detection_fires():
+    t = Tracer()
+    t.record(0, "a", "thread", 0, 10)
+    t.record(0, "b", "thread", 5, 15)
+    with pytest.raises(AssertionError, match="overlaps"):
+        t.check_no_overlap()
+
+
+def test_busy_and_makespan():
+    t = Tracer()
+    t.record(0, "a", "thread", 0, 10)
+    t.record(1, "b", "thread", 5, 30)
+    assert t.busy_cycles(0) == 10
+    assert t.busy_cycles(1) == 25
+    assert t.makespan() == 30
+    assert t.critical_kernel() == 1
+
+
+def test_makespan_matches_runtime_region():
+    tracer, res = traced_run(nchunks=16, nkernels=4, chunk_cost=5000)
+    # Spans live inside the parallel region.
+    assert tracer.makespan() <= res.region_cycles + 1
+
+
+def test_gantt_render():
+    tracer, _ = traced_run(nchunks=8, nkernels=4)
+    art = render_gantt(tracer, width=40)
+    lines = art.splitlines()
+    assert lines[0].startswith("time:")
+    assert len(lines) == 5  # header + 4 kernels
+    assert "#" in art and "%" in art
+
+
+def test_gantt_empty():
+    assert "no spans" in render_gantt(Tracer())
+
+
+def test_thread_work_dominates_trace():
+    tracer, _ = traced_run(nchunks=8, nkernels=2, chunk_cost=10_000)
+    thread_busy = sum(s.duration for s in tracer.spans if s.kind == "thread")
+    other_busy = sum(s.duration for s in tracer.spans if s.kind != "thread")
+    assert thread_busy > 10 * other_busy
