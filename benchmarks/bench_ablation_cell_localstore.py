@@ -13,24 +13,38 @@ paper's Table 1 gives QSORT a separate, smaller Cell grid.
 import pytest
 
 from benchmarks.conftest import report
-from repro.apps import get_benchmark, problem_sizes
-from repro.cell.localstore import CellLocalStoreError
+from repro.exec import JobOutcome, JobSpec, run_job, run_jobs
 from repro.platforms import TFluxCell
+
+
+def _spec(n_elements: int) -> JobSpec:
+    from repro.apps.common import ProblemSize
+
+    return JobSpec(
+        platform=TFluxCell(),
+        bench="qsort",
+        size=ProblemSize("qsort", "C", f"n{n_elements}", {"n": n_elements}),
+        nkernels=4,
+        unroll=16,
+        max_threads=512,
+        verify=True,
+        mode="execute",
+        capture_errors=True,
+    )
+
+
+def _interpret(outcome: JobOutcome) -> tuple[bool, str]:
+    """(ran, note) for one QSORT attempt; the failure *is* the datum."""
+    if outcome.error is None:
+        return True, f"{outcome.region_cycles:,} cycles"
+    qualname, message = outcome.error
+    assert qualname.endswith("CellLocalStoreError"), outcome.error
+    return False, message.split(";")[0]
 
 
 def try_size(n_elements: int) -> tuple[bool, str]:
     """Attempt QSORT with *n_elements* on the Cell; returns (ran, note)."""
-    from repro.apps.common import ProblemSize
-
-    bench = get_benchmark("qsort")
-    size = ProblemSize("qsort", "C", f"n{n_elements}", {"n": n_elements})
-    prog = bench.build(size, unroll=16, max_threads=512)
-    try:
-        res = TFluxCell().execute(prog, nkernels=4)
-        bench.verify(res.env, size)
-        return True, f"{res.region_cycles:,} cycles"
-    except CellLocalStoreError as exc:
-        return False, str(exc).split(";")[0]
+    return _interpret(run_job(_spec(n_elements)))
 
 
 SIZES = (3_000, 6_000, 12_000, 20_000, 26_000, 50_000)
@@ -38,7 +52,8 @@ SIZES = (3_000, 6_000, 12_000, 20_000, 26_000, 50_000)
 
 @pytest.fixture(scope="module")
 def outcomes():
-    return {n: try_size(n) for n in SIZES}
+    results = run_jobs([_spec(n) for n in SIZES])
+    return {n: _interpret(out) for n, out in zip(SIZES, results)}
 
 
 def test_localstore_wall_table(outcomes):

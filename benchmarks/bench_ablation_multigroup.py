@@ -12,6 +12,8 @@ import pytest
 
 from benchmarks.conftest import report
 from repro.apps import get_benchmark, problem_sizes
+from repro.exec import JobSpec, run_job, run_jobs
+from repro.platforms import TFluxHard
 from repro.runtime.simdriver import SimulatedRuntime
 from repro.sim.machine import BAGLE_27
 from repro.tsu.multigroup import MultiGroupHardwareAdapter
@@ -21,30 +23,50 @@ GROUPS = (1, 2, 4, 27)  # 27 = one TSU per kernel (the D2NOW-style design §3.3 
 TSU_CYCLES = 64
 
 
+class MultiGroupHard(TFluxHard):
+    """TFluxHard with the TSU partitioned over *n_groups* Group devices.
+
+    Module-level (not a closure) so JobSpecs carrying it stay picklable;
+    ``n_groups`` lands in the platform state and hence the cache digest.
+    """
+
+    def __init__(self, n_groups: int) -> None:
+        super().__init__(tsu_processing_cycles=TSU_CYCLES)
+        self.n_groups = n_groups
+        self.name = f"tfluxhard-{n_groups}g"
+
+    def adapter_factory(self):
+        n, lat = self.n_groups, self.tsu_processing_cycles
+        return lambda engine, tsu: MultiGroupHardwareAdapter(
+            engine, tsu, n_groups=n, tsu_processing_cycles=lat
+        )
+
+
+def _spec(n_groups: int) -> JobSpec:
+    return JobSpec(
+        platform=MultiGroupHard(n_groups),
+        bench="trapez",
+        size=problem_sizes("trapez", "S")["small"],
+        nkernels=27,
+        unroll=1,
+        max_threads=8192,
+        mode="execute",
+    )
+
+
 def run_fine_grained(n_groups: int) -> tuple[int, int]:
     """Returns (region cycles, inter-group transfers)."""
-    bench = get_benchmark("trapez")
-    size = problem_sizes("trapez", "S")["small"]
-    prog = bench.build(size, unroll=1, max_threads=8192)
-    adapters = []
-
-    def factory(engine, tsu):
-        a = MultiGroupHardwareAdapter(
-            engine, tsu, n_groups=n_groups, tsu_processing_cycles=TSU_CYCLES
-        )
-        adapters.append(a)
-        return a
-
-    res = SimulatedRuntime(
-        prog, BAGLE_27, nkernels=27, adapter_factory=factory,
-        platform_name=f"tfluxhard-{n_groups}g",
-    ).run()
-    return res.region_cycles, adapters[0].intergroup_transfers
+    out = run_job(_spec(n_groups))
+    return out.region_cycles, out.result.tsu_stats["intergroup_transfers"]
 
 
 @pytest.fixture(scope="module")
 def sweep():
-    return {g: run_fine_grained(g) for g in GROUPS}
+    outcomes = run_jobs([_spec(g) for g in GROUPS])
+    return {
+        g: (out.region_cycles, out.result.tsu_stats["intergroup_transfers"])
+        for g, out in zip(GROUPS, outcomes)
+    }
 
 
 def test_multigroup_table(sweep):

@@ -8,30 +8,42 @@ the parallelization overhead is amortized."
 import pytest
 
 from benchmarks.conftest import report
-from repro.apps import get_benchmark, problem_sizes
+from repro.apps import problem_sizes
+from repro.exec import EvalRequest, evaluate_many
 from repro.platforms import TFluxHard, TFluxSoft
 
 BENCHES = ("trapez", "mmult", "qsort", "susan", "fft")
 SIZES = ("small", "medium", "large")
 
 
-def size_series(platform, bench_name: str, nkernels: int) -> dict[str, float]:
-    bench = get_benchmark(bench_name)
+def _requests(platform, bench_name: str, nkernels: int) -> list[EvalRequest]:
     grid = problem_sizes(bench_name, platform.target)
-    out = {}
-    for label in SIZES:
-        ev = platform.evaluate(
-            bench, grid[label], nkernels=nkernels, unrolls=(4, 16),
-            verify=False, max_threads=1024,
+    return [
+        EvalRequest(
+            platform=platform,
+            bench=bench_name,
+            size=grid[label],
+            nkernels=nkernels,
+            unrolls=(4, 16),
+            verify=False,
+            max_threads=1024,
         )
-        out[label] = ev.speedup
-    return out
+        for label in SIZES
+    ]
+
+
+def size_series(platform, bench_name: str, nkernels: int) -> dict[str, float]:
+    evs = evaluate_many(_requests(platform, bench_name, nkernels))
+    return {label: ev.speedup for label, ev in zip(SIZES, evs)}
 
 
 @pytest.fixture(scope="module")
 def hard_series():
+    # The full 5-benchmark x 3-size grid as one 30-job exec batch.
     plat = TFluxHard()
-    return {b: size_series(plat, b, nkernels=27) for b in BENCHES}
+    requests = [r for b in BENCHES for r in _requests(plat, b, nkernels=27)]
+    evs = iter(evaluate_many(requests))
+    return {b: {label: next(evs).speedup for label in SIZES} for b in BENCHES}
 
 
 def test_size_table(hard_series):

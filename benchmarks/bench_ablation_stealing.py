@@ -15,34 +15,45 @@ while work is pending.
 import pytest
 
 from benchmarks.conftest import report
-from repro.apps import get_benchmark, problem_sizes
-from repro.runtime.simdriver import SimulatedRuntime
-from repro.sim.machine import BAGLE_27
-from repro.tsu.hardware import HardwareTSUAdapter
+from repro.apps import problem_sizes
+from repro.exec import JobSpec, run_job, run_jobs
+from repro.platforms import TFluxHard
 
 BENCHES = ("trapez", "mmult", "qsort", "susan", "fft")
 
 
-def run(bench_name: str, allow_stealing: bool, nkernels=27, unroll=4):
-    bench = get_benchmark(bench_name)
-    size = problem_sizes(bench_name, "S")["large"]
-    prog = bench.build(size, unroll=unroll, max_threads=1024)
-    rt = SimulatedRuntime(
-        prog,
-        BAGLE_27,
+def _spec(bench_name: str, allow_stealing: bool, nkernels=27, unroll=4) -> JobSpec:
+    return JobSpec(
+        platform=TFluxHard(),
+        bench=bench_name,
+        size=problem_sizes(bench_name, "S")["large"],
         nkernels=nkernels,
-        adapter_factory=lambda e, t: HardwareTSUAdapter(e, t),
+        unroll=unroll,
+        max_threads=1024,
+        verify=True,
+        mode="execute",
         allow_stealing=allow_stealing,
     )
-    res = rt.run()
-    bench.verify(res.env, size)
-    return res.region_cycles, rt.tsu.steals
+
+
+def run(bench_name: str, allow_stealing: bool, nkernels=27, unroll=4):
+    outcome = run_job(_spec(bench_name, allow_stealing, nkernels, unroll))
+    return outcome.region_cycles, outcome.result.tsu_stats["steals"]
 
 
 @pytest.fixture(scope="module")
 def sweep():
+    # 10 (benchmark, policy) simulations as one exec batch.
+    specs = [
+        _spec(bench, steal) for bench in BENCHES for steal in (False, True)
+    ]
+    outcomes = iter(run_jobs(specs))
     return {
-        bench: {steal: run(bench, steal) for steal in (False, True)}
+        bench: {
+            steal: (out.region_cycles, out.result.tsu_stats["steals"])
+            for steal in (False, True)
+            for out in (next(outcomes),)
+        }
         for bench in BENCHES
     }
 

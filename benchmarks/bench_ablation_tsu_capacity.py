@@ -13,24 +13,48 @@ import pytest
 
 from benchmarks.conftest import report
 from repro.apps import get_benchmark, problem_sizes
+from repro.exec import JobSpec, run_jobs
 from repro.platforms import TFluxHard
 
 CAPACITIES = (64, 256, 1024, None)  # None = unbounded (single block)
 
 
-def run_with_capacity(capacity):
+def _spec(capacity) -> JobSpec:
+    return JobSpec(
+        platform=TFluxHard(),
+        bench="trapez",
+        size=problem_sizes("trapez", "S")["small"],
+        nkernels=16,
+        unroll=4,
+        max_threads=2048,
+        verify=True,
+        mode="execute",
+        tsu_capacity=capacity,
+    )
+
+
+def _block_count(capacity) -> int:
+    # Program construction is cheap (no simulation): count blocks locally
+    # on a throwaway build rather than shipping the program across the
+    # exec boundary.
     bench = get_benchmark("trapez")
     size = problem_sizes("trapez", "S")["small"]
-    prog = bench.build(size, unroll=4, max_threads=2048)
-    nblocks = len(prog.blocks(capacity))
-    res = TFluxHard().execute(prog, nkernels=16, tsu_capacity=capacity)
-    bench.verify(res.env, size)
-    return res.region_cycles, nblocks
+    return len(bench.build(size, unroll=4, max_threads=2048).blocks(capacity))
+
+
+def run_with_capacity(capacity):
+    from repro.exec import run_job
+
+    return run_job(_spec(capacity)).region_cycles, _block_count(capacity)
 
 
 @pytest.fixture(scope="module")
 def sweep():
-    return {cap: run_with_capacity(cap) for cap in CAPACITIES}
+    outcomes = run_jobs([_spec(cap) for cap in CAPACITIES])
+    return {
+        cap: (outcome.region_cycles, _block_count(cap))
+        for cap, outcome in zip(CAPACITIES, outcomes)
+    }
 
 
 def test_capacity_table(sweep):

@@ -8,26 +8,37 @@ workloads at 27 kernels and checks the claim.
 import pytest
 
 from benchmarks.conftest import report
-from repro.apps import get_benchmark, problem_sizes
+from repro.apps import problem_sizes
+from repro.exec import JobSpec, run_job, run_jobs
 from repro.platforms import TFluxHard
 
 BENCHES = ("trapez", "mmult", "qsort", "susan", "fft")
 LATENCIES = (1, 4, 16, 64, 128)
 
 
+def _spec(bench_name: str, latency: int, unroll: int = 8) -> JobSpec:
+    return JobSpec(
+        platform=TFluxHard(tsu_processing_cycles=latency),
+        bench=bench_name,
+        size=problem_sizes(bench_name, "S")["large"],
+        nkernels=27,
+        unroll=unroll,
+        max_threads=1024,
+        mode="execute",
+    )
+
+
 def _cycles(bench_name: str, latency: int, unroll: int = 8) -> int:
-    platform = TFluxHard(tsu_processing_cycles=latency)
-    bench = get_benchmark(bench_name)
-    size = problem_sizes(bench_name, "S")["large"]
-    prog = bench.build(size, unroll=unroll, max_threads=1024)
-    res = platform.execute(prog, nkernels=27)
-    return res.region_cycles
+    return run_job(_spec(bench_name, latency, unroll)).region_cycles
 
 
 @pytest.fixture(scope="module")
 def sweep():
+    # 25 independent (benchmark, latency) simulations in one exec batch.
+    specs = [_spec(bench, lat) for bench in BENCHES for lat in LATENCIES]
+    outcomes = iter(run_jobs(specs))
     return {
-        bench: {lat: _cycles(bench, lat) for lat in LATENCIES}
+        bench: {lat: next(outcomes).region_cycles for lat in LATENCIES}
         for bench in BENCHES
     }
 

@@ -13,31 +13,41 @@ size instead of being masked by the sweep cap.
 import pytest
 
 from benchmarks.conftest import report
-from repro.apps import get_benchmark, problem_sizes
+from repro.apps import problem_sizes
+from repro.exec import EvalRequest, evaluate_many
 from repro.platforms import TFluxCell, TFluxHard, TFluxSoft
 
 UNROLLS = (1, 2, 4, 8, 16, 32, 64)
 MAX_THREADS = 8192
 
 
+def _request(platform, bench_name: str, nkernels: int) -> EvalRequest:
+    return EvalRequest(
+        platform=platform,
+        bench=bench_name,
+        size=problem_sizes(bench_name, platform.target)["small"],
+        nkernels=nkernels,
+        unrolls=UNROLLS,
+        verify=False,
+        max_threads=MAX_THREADS,
+    )
+
+
 def efficiency_curve(platform, nkernels: int) -> dict[int, float]:
     """Speedup per unroll factor (TRAPEZ small, fine threads)."""
-    bench = get_benchmark("trapez")
-    size = problem_sizes("trapez", platform.target)["small"]
-    ev = platform.evaluate(
-        bench, size, nkernels=nkernels, unrolls=UNROLLS,
-        verify=False, max_threads=MAX_THREADS,
-    )
-    return ev.per_unroll
+    return evaluate_many([_request(platform, "trapez", nkernels)])[0].per_unroll
 
 
 @pytest.fixture(scope="module")
 def curves():
-    return {
-        "tfluxhard": efficiency_curve(TFluxHard(), nkernels=8),
-        "tfluxsoft": efficiency_curve(TFluxSoft(), nkernels=6),
-        "tfluxcell": efficiency_curve(TFluxCell(), nkernels=6),
-    }
+    # One repro.exec batch: all three platforms' unroll grids run as
+    # independent jobs (21 simulations fan out under TFLUX_JOBS).
+    evs = evaluate_many([
+        _request(TFluxHard(), "trapez", 8),
+        _request(TFluxSoft(), "trapez", 6),
+        _request(TFluxCell(), "trapez", 6),
+    ])
+    return {ev.platform: ev.per_unroll for ev in evs}
 
 
 def test_unroll_table(curves):
@@ -104,16 +114,9 @@ def per_bench_curves():
     from repro.apps import BENCHMARKS
 
     platform = TFluxSoft()
-    out = {}
-    for name in sorted(BENCHMARKS):
-        bench = get_benchmark(name)
-        size = problem_sizes(name, platform.target)["small"]
-        ev = platform.evaluate(
-            bench, size, nkernels=6, unrolls=UNROLLS,
-            verify=False, max_threads=MAX_THREADS,
-        )
-        out[name] = ev.per_unroll
-    return out
+    names = sorted(BENCHMARKS)
+    evs = evaluate_many([_request(platform, name, 6) for name in names])
+    return {name: ev.per_unroll for name, ev in zip(names, evs)}
 
 
 def test_per_benchmark_unroll_table(per_bench_curves):

@@ -1,0 +1,93 @@
+"""P1 — DES kernel hot-path microbenchmark.
+
+Every cycle number in the harness flows through ``repro.sim.engine``, so
+its dispatch loop, timer resume, and ``Resource`` grant/release paths are
+the harness's hottest code.  This microbenchmark drives the kernel with a
+contended-resource workload shaped like the bus arbiter / TSU command
+port under load: many processes queueing on a small-capacity resource
+with short timer yields in between.
+
+Besides the throughput report, the scaling test guards the complexity of
+the grant queue: ``Resource.release`` once used ``list.pop(0)``, which
+made the contended case O(queue) per release — quadratic overall — and
+this is exactly the workload where it showed.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.sim.engine import Engine
+
+
+def _contended_run(nprocs: int, rounds: int) -> int:
+    """Run the workload; returns the number of callbacks dispatched."""
+    eng = Engine()
+    bus = eng.resource(capacity=2, name="bus")
+
+    def worker(eng, bus, rounds):
+        for _ in range(rounds):
+            grant = bus.request()
+            if not grant.triggered:
+                yield grant
+            yield 3
+            bus.release()
+            yield 1
+
+    for i in range(nprocs):
+        eng.process(worker(eng, bus, rounds), name=f"w{i}")
+    eng.run()
+    return eng.events_executed
+
+
+def _best_seconds(nprocs: int, rounds: int, repeats: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        _contended_run(nprocs, rounds)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_hotpath_throughput_table():
+    lines = [
+        "P1 — DES kernel throughput, contended-resource workload",
+        f"{'procs':>6} {'rounds':>7} {'events':>9} {'best time':>10} {'events/s':>11}",
+    ]
+    for nprocs, rounds in ((8, 2_000), (64, 500), (256, 125)):
+        events = _contended_run(nprocs, rounds)
+        secs = _best_seconds(nprocs, rounds, repeats=1)
+        lines.append(
+            f"{nprocs:>6} {rounds:>7} {events:>9,} {secs:>9.3f}s "
+            f"{events / secs:>11,.0f}"
+        )
+    report("\n".join(lines))
+
+
+def test_event_count_scales_linearly():
+    """The workload itself is linear: dispatch counts must scale with
+    work, independent of timing noise."""
+    base = _contended_run(64, 200)
+    double = _contended_run(128, 200)
+    assert base > 0
+    assert double == pytest.approx(2 * base, rel=0.02)
+
+
+def test_contended_queue_is_not_quadratic():
+    """Doubling the waiter count at constant total work must not blow up
+    run time.  With the O(n) ``list.pop(0)`` grant queue this ratio was
+    super-linear in the queue depth; the deque keeps it flat (3x bound
+    leaves headroom for timing noise on loaded hosts)."""
+    base = _best_seconds(64, 400)
+    deep = _best_seconds(256, 100)  # 4x the queue depth, same total ops
+    assert deep < max(base, 1e-3) * 3, (
+        f"deep-queue run {deep:.3f}s vs {base:.3f}s — release looks O(queue)"
+    )
+
+
+def test_engine_hotpath_benchmark(benchmark):
+    result = benchmark.pedantic(
+        lambda: _contended_run(64, 500), rounds=1, iterations=1
+    )
+    assert result > 0

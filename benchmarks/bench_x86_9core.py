@@ -10,6 +10,7 @@ import pytest
 
 from benchmarks.conftest import report
 from repro.apps import get_benchmark, problem_sizes
+from repro.exec import EvalRequest, evaluate_many
 from repro.platforms import TFluxHard
 from repro.sim.machine import X86_9_SIM
 
@@ -17,24 +18,33 @@ BENCHES = ("trapez", "mmult", "qsort", "susan", "fft")
 KERNELS = 8  # 9 cores - 1 OS core
 
 
-def speedups(platform) -> dict[str, float]:
-    out = {}
-    for name in BENCHES:
-        bench = get_benchmark(name)
-        size = problem_sizes(name, "S")["large"]
-        ev = platform.evaluate(
-            bench, size, nkernels=KERNELS, unrolls=(4, 16),
-            verify=False, max_threads=1024,
+def _requests(platform) -> list[EvalRequest]:
+    return [
+        EvalRequest(
+            platform=platform,
+            bench=name,
+            size=problem_sizes(name, "S")["large"],
+            nkernels=KERNELS,
+            unrolls=(4, 16),
+            verify=False,
+            max_threads=1024,
         )
-        out[name] = ev.speedup
-    return out
+        for name in BENCHES
+    ]
+
+
+def speedups(platform) -> dict[str, float]:
+    evs = evaluate_many(_requests(platform))
+    return {name: ev.speedup for name, ev in zip(BENCHES, evs)}
 
 
 @pytest.fixture(scope="module")
 def results():
+    # Both machines' five-benchmark grids as one 20-job exec batch.
+    evs = evaluate_many(_requests(TFluxHard()) + _requests(TFluxHard(machine=X86_9_SIM)))
     return {
-        "bagle": speedups(TFluxHard()),
-        "x86_9": speedups(TFluxHard(machine=X86_9_SIM)),
+        "bagle": {name: ev.speedup for name, ev in zip(BENCHES, evs[: len(BENCHES)])},
+        "x86_9": {name: ev.speedup for name, ev in zip(BENCHES, evs[len(BENCHES):])},
     }
 
 

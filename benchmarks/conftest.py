@@ -9,6 +9,16 @@ DESIGN.md's experiment index).  Two knobs keep runtimes sane:
   whole harness finishes in minutes.
 * Results print through ``report()`` so ``pytest benchmarks/
   --benchmark-only -s`` shows the paper-style tables.
+
+Every grid fans out through :mod:`repro.exec`, so two more environment
+knobs apply to the whole harness (see docs/simulation.md, "Running the
+harness fast"):
+
+* ``TFLUX_JOBS=N`` (or ``auto``) runs the independent grid cells in N
+  worker processes; results are bit-identical to the serial run.
+* ``TFLUX_CACHE_DIR=path`` memoises each simulation on disk, keyed by
+  the full job spec + cost-model parameters + a fingerprint of the
+  ``repro`` sources — re-running an unchanged harness is near-instant.
 """
 
 from __future__ import annotations

@@ -11,7 +11,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
-from repro.apps import get_benchmark, problem_sizes
+from repro.apps import problem_sizes
+from repro.exec import EvalRequest, evaluate_many
 from repro.platforms.base import Evaluation, Platform
 
 __all__ = ["FigureGrid", "sweep_figure"]
@@ -52,25 +53,39 @@ def sweep_figure(
     verify: bool = False,
     max_threads: int = 2048,
 ) -> FigureGrid:
-    """Run the full grid of one figure on *platform*."""
+    """Run the full grid of one figure on *platform*.
+
+    The whole grid is flattened into independent (cell × unroll) jobs
+    and driven through :mod:`repro.exec` in one batch, so ``TFLUX_JOBS``
+    parallelises across the entire figure and ``TFLUX_CACHE_DIR`` turns
+    repeated sweeps into cache hits.  Cell results come back in
+    deterministic grid order regardless of worker scheduling.
+    """
     grid = FigureGrid(
         platform=platform.name,
         benches=list(benches),
         kernel_counts=list(kernel_counts),
         sizes=list(sizes),
     )
+    requests: list[EvalRequest] = []
+    keys: list[tuple[str, int, str]] = []
     for bench_name in benches:
-        bench = get_benchmark(bench_name)
         size_grid = problem_sizes(bench_name, platform.target)
         for size_label in sizes:
             size = size_grid[size_label]
             for nk in kernel_counts:
-                grid.cells[(bench_name, nk, size_label)] = platform.evaluate(
-                    bench,
-                    size,
-                    nkernels=nk,
-                    unrolls=unrolls,
-                    verify=verify,
-                    max_threads=max_threads,
+                requests.append(
+                    EvalRequest(
+                        platform=platform,
+                        bench=bench_name,
+                        size=size,
+                        nkernels=nk,
+                        unrolls=tuple(unrolls),
+                        verify=verify,
+                        max_threads=max_threads,
+                    )
                 )
+                keys.append((bench_name, nk, size_label))
+    for key, evaluation in zip(keys, evaluate_many(requests)):
+        grid.cells[key] = evaluation
     return grid

@@ -4,14 +4,21 @@ Examples::
 
     tflux-run trapez --platform hard --kernels 27 --size large
     tflux-run mmult --platform cell --kernels 6 --size small --unroll 64
-    tflux-run qsort --platform soft --kernels 6 --sweep
+    tflux-run qsort --platform soft --kernels 6 --sweep --jobs 4
+    tflux-run susan --platform hard --sweep --cache-dir ~/.cache/tflux
+
+``--jobs`` and ``--cache-dir`` are command-line spellings of the
+``TFLUX_JOBS`` / ``TFLUX_CACHE_DIR`` knobs (see docs/simulation.md,
+"Running the harness fast"); explicit flags win over the environment.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 
-from repro.apps import BENCHMARKS, get_benchmark, problem_sizes
+from repro.apps import BENCHMARKS, problem_sizes
+from repro.exec import ENV_CACHE_DIR, ENV_JOBS, EvalRequest, evaluate_many
 from repro.platforms import TFluxCell, TFluxHard, TFluxSoft
 
 __all__ = ["main"]
@@ -35,10 +42,26 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--sweep", action="store_true", help="sweep kernel counts 2..max"
     )
+    parser.add_argument(
+        "--jobs",
+        default=None,
+        help=f"worker processes for the sweep (overrides {ENV_JOBS}; 'auto' = all cores)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help=f"persistent result cache directory (overrides {ENV_CACHE_DIR})",
+    )
     args = parser.parse_args(argv)
 
+    # The exec layer reads the knobs from the environment at call time;
+    # flags simply override it for this invocation.
+    if args.jobs is not None:
+        os.environ[ENV_JOBS] = str(args.jobs)
+    if args.cache_dir is not None:
+        os.environ[ENV_CACHE_DIR] = os.path.expanduser(args.cache_dir)
+
     platform = _PLATFORMS[args.platform]()
-    bench = get_benchmark(args.benchmark)
     size = problem_sizes(args.benchmark, platform.target)[args.size]
     unrolls = (args.unroll,) if args.unroll else (1, 2, 4, 8, 16, 32, 64)
 
@@ -48,10 +71,19 @@ def main(argv: list[str] | None = None) -> int:
     else:
         counts = [args.kernels or platform.max_kernels]
 
-    print(f"{bench.name.upper()} ({size}) on {platform.name}")
+    print(f"{args.benchmark.upper()} ({size}) on {platform.name}")
+    requests = [
+        EvalRequest(
+            platform=platform,
+            bench=args.benchmark,
+            size=size,
+            nkernels=nk,
+            unrolls=unrolls,
+        )
+        for nk in counts
+    ]
     try:
-        for nk in counts:
-            ev = platform.evaluate(bench, size, nkernels=nk, unrolls=unrolls)
+        for ev in evaluate_many(requests):
             print(f"  {ev.row()}")
     except (ValueError, MemoryError) as exc:
         import sys

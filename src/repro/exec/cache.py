@@ -1,0 +1,176 @@
+"""Content-addressed on-disk cache for simulation job results.
+
+Every harness job (one ``(platform config, benchmark, size, kernel
+count, unroll)`` cell, see :mod:`repro.exec.pool`) is a *pure function*
+of its spec and of the simulator sources: programs are rebuilt fresh per
+run and the DES models are deterministic.  That makes results safely
+content-addressable — the cache key is a SHA-256 digest over
+
+* the full job spec, including every cost-model parameter reachable from
+  the platform object (machine config, cache/DRAM latencies, TSU cost
+  tables, Cell parameters, ...), and
+* a *source fingerprint*: the hash of every ``.py`` file of the
+  installed :mod:`repro` package, so editing any model invalidates all
+  previously cached cycles.
+
+The cache directory is taken from the ``TFLUX_CACHE_DIR`` environment
+variable; when it is unset or empty, caching is disabled.  Entries are
+pickled :class:`~repro.exec.pool.JobOutcome` objects with the functional
+``Environment`` stripped (the cache stores *timing* results — cycle
+counts and statistics — never program state, preserving the
+functional/timing split).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Any, Optional
+
+__all__ = [
+    "ResultCache",
+    "cache_from_env",
+    "describe",
+    "source_fingerprint",
+    "spec_digest",
+]
+
+#: Bump to invalidate every existing cache entry (format changes).
+CACHE_FORMAT = 1
+
+ENV_CACHE_DIR = "TFLUX_CACHE_DIR"
+
+
+def describe(obj: Any) -> Any:
+    """A JSON-able canonical description of *obj* for digesting.
+
+    Recurses through dataclasses (machine configs, cost tables, problem
+    sizes) and plain containers; arbitrary objects (platform instances)
+    contribute their class identity plus their instance ``__dict__``, so
+    any constructor parameter — e.g. ``TFluxHard(tsu_processing_cycles=8)``
+    — lands in the digest.
+    """
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        body = {
+            f.name: describe(getattr(obj, f.name))
+            for f in dataclasses.fields(obj)
+        }
+        return {"__dataclass__": _qualname(obj), **body}
+    if isinstance(obj, dict):
+        return {str(k): describe(v) for k, v in sorted(obj.items(), key=lambda kv: str(kv[0]))}
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        items = sorted(obj, key=repr) if isinstance(obj, (set, frozenset)) else obj
+        return [describe(x) for x in items]
+    if hasattr(obj, "__dict__"):
+        body = {k: describe(v) for k, v in sorted(vars(obj).items())}
+        return {"__class__": _qualname(obj), **body}
+    return repr(obj)
+
+
+def _qualname(obj: Any) -> str:
+    cls = type(obj)
+    return f"{cls.__module__}.{cls.__qualname__}"
+
+
+_FINGERPRINT: Optional[str] = None
+
+
+def source_fingerprint() -> str:
+    """Digest of every ``.py`` source file of the :mod:`repro` package.
+
+    Computed once per process.  Any edit to the simulator, the TSU
+    models, the workloads — anything under ``repro/`` — changes the
+    fingerprint and therefore invalidates all cached results.
+    """
+    global _FINGERPRINT
+    if _FINGERPRINT is None:
+        import repro
+
+        root = Path(repro.__file__).parent
+        h = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            h.update(str(path.relative_to(root)).encode())
+            h.update(b"\0")
+            h.update(path.read_bytes())
+            h.update(b"\0")
+        _FINGERPRINT = h.hexdigest()
+    return _FINGERPRINT
+
+
+def spec_digest(spec: Any) -> str:
+    """The content address of one job spec (hex SHA-256)."""
+    payload = json.dumps(
+        {
+            "format": CACHE_FORMAT,
+            "sources": source_fingerprint(),
+            "spec": describe(spec),
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+class ResultCache:
+    """Pickle-per-entry cache in ``<root>/<digest[:2]>/<digest>.pkl``.
+
+    Reads tolerate missing or corrupt entries (treated as misses);
+    writes are atomic (temp file + rename) so concurrent workers and
+    concurrent harness runs can share one directory.
+    """
+
+    def __init__(self, root: str | os.PathLike) -> None:
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def _path(self, digest: str) -> Path:
+        return self.root / digest[:2] / f"{digest}.pkl"
+
+    def get(self, digest: str) -> Optional[Any]:
+        path = self._path(digest)
+        try:
+            with open(path, "rb") as fh:
+                value = pickle.load(fh)
+        except (OSError, pickle.PickleError, EOFError, AttributeError, ImportError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return value
+
+    def put(self, digest: str, value: Any) -> None:
+        path = self._path(digest)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stores += 1
+
+    def __len__(self) -> int:
+        if not self.root.exists():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.pkl"))
+
+
+def cache_from_env() -> Optional[ResultCache]:
+    """The cache named by ``TFLUX_CACHE_DIR``, or ``None`` when unset."""
+    root = os.environ.get(ENV_CACHE_DIR, "").strip()
+    if not root:
+        return None
+    return ResultCache(root)

@@ -1,0 +1,321 @@
+"""Parallel sweep executor for the paper-figure harness.
+
+Every figure of the paper is a grid of *independent* simulations
+(benchmarks × sizes × kernel counts × unroll factors).  This module
+turns each grid cell into a picklable :class:`JobSpec`, runs the specs
+through a process pool (``TFLUX_JOBS`` workers), and reassembles the
+results in deterministic submission order.  Workers rebuild their
+program fresh from the benchmark registry — the single-run-program
+invariant (a ``DDMProgram``'s ``Environment`` is mutated by execution)
+is preserved by construction, because a program object never crosses a
+process boundary.
+
+Two job modes exist:
+
+* ``"evaluate"`` — the paper's §5 measurement for one unroll factor:
+  sequential baseline plus the parallel run (both freshly built).
+  :func:`evaluate_many` fans a batch of :class:`EvalRequest` cells into
+  these jobs and reassembles :class:`~repro.platforms.base.Evaluation`
+  objects with exactly the serial code path's best-over-unrolls logic.
+* ``"execute"`` — a single parallel run (used by the ablation grids
+  that sweep runtime parameters rather than speedups).
+
+Results are transparently memoised through the content-addressed disk
+cache (:mod:`repro.exec.cache`) when ``TFLUX_CACHE_DIR`` is set.
+
+Knobs (both read at call time, so tests can monkeypatch):
+
+* ``TFLUX_JOBS`` — worker processes: unset/``0``/``1`` = serial in
+  process, ``N`` = that many workers, ``auto`` = ``os.cpu_count()``.
+* ``TFLUX_CACHE_DIR`` — result cache directory; unset = no caching.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Optional, Sequence
+
+from repro.exec.cache import ResultCache, cache_from_env, spec_digest
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.apps.common import ProblemSize
+    from repro.platforms.base import Evaluation, Platform
+    from repro.runtime.stats import RunResult
+
+__all__ = [
+    "JobSpec",
+    "JobOutcome",
+    "EvalRequest",
+    "job_count",
+    "run_jobs",
+    "evaluate_many",
+]
+
+ENV_JOBS = "TFLUX_JOBS"
+
+#: Sentinel: "resolve the cache from the environment".
+_ENV_CACHE = object()
+
+
+def job_count(jobs: Optional[int] = None) -> int:
+    """Effective worker count: explicit *jobs* or the ``TFLUX_JOBS`` knob."""
+    if jobs is not None:
+        return max(1, int(jobs))
+    raw = os.environ.get(ENV_JOBS, "").strip().lower()
+    if not raw or raw == "0":
+        return 1
+    if raw in ("auto", "max"):
+        return os.cpu_count() or 1
+    n = int(raw)
+    if n < 0:
+        raise ValueError(f"{ENV_JOBS} must be >= 0, got {n}")
+    return max(1, n)
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One picklable simulation job (a single grid cell at one unroll).
+
+    The platform object carries the complete cost-model configuration
+    (machine latencies, TSU cost tables, Cell parameters), so the spec
+    doubles as the cache key — see :func:`repro.exec.cache.spec_digest`.
+    """
+
+    platform: "Platform"
+    bench: str
+    size: "ProblemSize"
+    nkernels: int
+    unroll: int
+    max_threads: int = 4096
+    verify: bool = False
+    #: "evaluate" adds the sequential §5 baseline; "execute" is parallel-only.
+    mode: str = "evaluate"
+    tsu_capacity: Optional[int] = None
+    exact_memory: bool = False
+    allow_stealing: bool = False
+    #: Capture exceptions from the run as part of the outcome instead of
+    #: raising (used by grids whose interesting result *is* the failure,
+    #: e.g. the Cell Local-Store capacity wall).
+    capture_errors: bool = False
+
+
+@dataclass
+class JobOutcome:
+    """What one job returns (and what the disk cache stores).
+
+    ``result`` is the parallel run's :class:`RunResult`; its functional
+    ``env`` is stripped whenever the outcome crosses a process boundary
+    or enters the cache — timing artefacts only, never program state.
+    """
+
+    cycles: int
+    region_cycles: int
+    seq_cycles: Optional[int] = None
+    result: Optional["RunResult"] = None
+    #: (fully-qualified exception class, message) when captured.
+    error: Optional[tuple[str, str]] = None
+
+    @property
+    def measured_cycles(self) -> int:
+        """The §5 measured quantity: region cycles, else total cycles."""
+        return self.region_cycles or self.cycles
+
+
+def run_job(spec: JobSpec, keep_env: bool = True) -> JobOutcome:
+    """Execute one job in this process.
+
+    Builds the program(s) fresh — never reuses a program object — runs
+    the parallel simulation (and the sequential baseline in
+    ``"evaluate"`` mode), optionally verifies the functional results
+    against the benchmark oracle, and returns the outcome.
+    """
+    import repro.apps  # ensures the benchmark registry is populated
+
+    bench = repro.apps.get_benchmark(spec.bench)
+    platform = spec.platform
+    try:
+        prog = bench.build(spec.size, unroll=spec.unroll, max_threads=spec.max_threads)
+        par = platform.execute(
+            prog,
+            nkernels=spec.nkernels,
+            tsu_capacity=spec.tsu_capacity,
+            exact_memory=spec.exact_memory,
+            allow_stealing=spec.allow_stealing,
+        )
+        if spec.verify:
+            bench.verify(par.env, spec.size)
+        seq_cycles: Optional[int] = None
+        if spec.mode == "evaluate":
+            seq_prog = bench.build(
+                spec.size, unroll=spec.unroll, max_threads=spec.max_threads
+            )
+            seq = platform.sequential_baseline(seq_prog)
+            seq_cycles = seq.region_cycles or seq.cycles
+        if not keep_env:
+            par = dataclasses.replace(par, env=None)
+        return JobOutcome(
+            cycles=par.cycles,
+            region_cycles=par.region_cycles,
+            seq_cycles=seq_cycles,
+            result=par,
+        )
+    except Exception as exc:
+        if not spec.capture_errors:
+            raise
+        qualname = f"{type(exc).__module__}.{type(exc).__qualname__}"
+        return JobOutcome(0, 0, error=(qualname, str(exc)))
+
+
+def _worker(spec: JobSpec) -> JobOutcome:
+    """Pool entry point: run and return an env-stripped outcome."""
+    return run_job(spec, keep_env=False)
+
+
+def _slim(outcome: JobOutcome) -> JobOutcome:
+    """A copy safe for the disk cache (functional state stripped)."""
+    if outcome.result is None or outcome.result.env is None:
+        return outcome
+    return dataclasses.replace(
+        outcome, result=dataclasses.replace(outcome.result, env=None)
+    )
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    # fork inherits the imported simulator + benchmark registry, which
+    # keeps worker start-up cheap; fall back where fork is unavailable.
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else None)
+
+
+def run_jobs(
+    specs: Iterable[JobSpec],
+    jobs: Optional[int] = None,
+    cache: Optional[ResultCache] | object = _ENV_CACHE,
+) -> list[JobOutcome]:
+    """Run *specs*, returning outcomes in the order the specs were given.
+
+    Cache hits short-circuit; the remaining jobs run in a process pool
+    of :func:`job_count` workers (serially in-process when that is 1).
+    The returned list order never depends on completion order, so
+    parallel and serial sweeps are interchangeable.
+    """
+    specs = list(specs)
+    if cache is _ENV_CACHE:
+        cache = cache_from_env()
+    njobs = job_count(jobs)
+
+    results: list[Optional[JobOutcome]] = [None] * len(specs)
+    digests: list[Optional[str]] = [None] * len(specs)
+    pending: list[int] = []
+    for i, spec in enumerate(specs):
+        if cache is not None:
+            digests[i] = spec_digest(spec)
+            hit = cache.get(digests[i])
+            if hit is not None:
+                results[i] = hit
+                continue
+        pending.append(i)
+
+    if pending:
+        if njobs > 1 and len(pending) > 1:
+            workers = min(njobs, len(pending))
+            with ProcessPoolExecutor(
+                max_workers=workers, mp_context=_pool_context()
+            ) as pool:
+                for i, outcome in zip(
+                    pending, pool.map(_worker, [specs[i] for i in pending])
+                ):
+                    results[i] = outcome
+        else:
+            for i in pending:
+                results[i] = run_job(specs[i], keep_env=True)
+        if cache is not None:
+            for i in pending:
+                cache.put(digests[i], _slim(results[i]))
+    return results  # type: ignore[return-value]
+
+
+# -- the paper's measurement protocol, batched --------------------------------
+@dataclass(frozen=True)
+class EvalRequest:
+    """One figure cell: best-over-unrolls speedup for (bench, size, nk)."""
+
+    platform: "Platform"
+    bench: str
+    size: "ProblemSize"
+    nkernels: int
+    unrolls: tuple[int, ...] = (1, 2, 4, 8, 16, 32, 64)
+    verify: bool = True
+    max_threads: int = 4096
+
+
+def evaluate_many(
+    requests: Sequence[EvalRequest],
+    jobs: Optional[int] = None,
+    cache: Optional[ResultCache] | object = _ENV_CACHE,
+) -> list["Evaluation"]:
+    """Evaluate a batch of figure cells, fanning all unroll jobs at once.
+
+    Flattening the whole batch before pooling maximises parallelism (a
+    figure grid becomes cells × unrolls independent jobs) while the
+    assembly below reproduces the serial protocol bit-for-bit: the
+    sequential baseline takes the best (minimum cycles) over the unroll
+    grid, each unroll's speedup is measured against that baseline, and
+    ties keep the earliest unroll.
+    """
+    requests = list(requests)
+    specs: list[JobSpec] = []
+    slices: list[tuple[int, int]] = []
+    for req in requests:
+        start = len(specs)
+        for unroll in req.unrolls:
+            specs.append(
+                JobSpec(
+                    platform=req.platform,
+                    bench=req.bench,
+                    size=req.size,
+                    nkernels=req.nkernels,
+                    unroll=unroll,
+                    max_threads=req.max_threads,
+                    verify=req.verify,
+                    mode="evaluate",
+                )
+            )
+        slices.append((start, len(specs)))
+    outcomes = run_jobs(specs, jobs=jobs, cache=cache)
+    return [
+        _assemble(req, outcomes[a:b]) for req, (a, b) in zip(requests, slices)
+    ]
+
+
+def _assemble(req: EvalRequest, outcomes: Sequence[JobOutcome]) -> "Evaluation":
+    from repro.platforms.base import Evaluation
+
+    seq_best = min(o.seq_cycles for o in outcomes)  # type: ignore[type-var]
+    assert seq_best is not None
+    best: Optional[tuple[float, int, int, Optional["RunResult"]]] = None
+    per_unroll: dict[int, float] = {}
+    for unroll, outcome in zip(req.unrolls, outcomes):
+        par_cycles = outcome.measured_cycles
+        speedup = seq_best / par_cycles
+        per_unroll[unroll] = speedup
+        if best is None or speedup > best[0]:
+            best = (speedup, unroll, par_cycles, outcome.result)
+    assert best is not None
+    speedup, unroll, par_cycles, result = best
+    return Evaluation(
+        platform=req.platform.name,
+        bench=req.bench,
+        size_label=req.size.label,
+        nkernels=req.nkernels,
+        speedup=speedup,
+        best_unroll=unroll,
+        parallel_cycles=par_cycles,
+        sequential_cycles=seq_best,
+        per_unroll=per_unroll,
+        result=result,
+    )

@@ -75,6 +75,7 @@ class Platform:
         nkernels: int,
         tsu_capacity: Optional[int] = None,
         exact_memory: bool = False,
+        allow_stealing: bool = False,
     ) -> RunResult:
         """Run *program* with *nkernels* Kernels; returns the result."""
         if nkernels > self.max_kernels:
@@ -89,6 +90,7 @@ class Platform:
             adapter_factory=self.adapter_factory(),
             tsu_capacity=tsu_capacity,
             exact_memory=exact_memory,
+            allow_stealing=allow_stealing,
             platform_name=self.name,
         )
         return runtime.run()
@@ -108,42 +110,24 @@ class Platform:
         max_threads: int = 4096,
     ) -> Evaluation:
         """Speedup for one cell, taking the best over *unrolls* for both
-        the parallel and the sequential version (paper §5)."""
-        # Speedup follows the paper's §5 protocol: the measured quantity is
-        # the parallelised region (gettimeofday around the parallel
-        # section); the baseline is the original sequential program on the
-        # same machine.  Both sides take the best over the unroll grid.
-        best: Optional[tuple[float, int, int, int, RunResult]] = None
-        per_unroll: dict[int, float] = {}
-        seq_cycles_best: Optional[int] = None
-        for unroll in unrolls:
-            seq_prog = bench.build(size, unroll=unroll, max_threads=max_threads)
-            seq = self.sequential_baseline(seq_prog)
-            seq_cycles = seq.region_cycles or seq.cycles
-            if seq_cycles_best is None or seq_cycles < seq_cycles_best:
-                seq_cycles_best = seq_cycles
-        assert seq_cycles_best is not None
-        for unroll in unrolls:
-            par_prog = bench.build(size, unroll=unroll, max_threads=max_threads)
-            par = self.execute(par_prog, nkernels=nkernels)
-            if verify:
-                bench.verify(par.env, size)
-            par_cycles = par.region_cycles or par.cycles
-            speedup = seq_cycles_best / par_cycles
-            per_unroll[unroll] = speedup
-            if best is None or speedup > best[0]:
-                best = (speedup, unroll, par_cycles, seq_cycles_best, par)
-        assert best is not None
-        speedup, unroll, pcyc, scyc, result = best
-        return Evaluation(
-            platform=self.name,
+        the parallel and the sequential version (paper §5).
+
+        The measured quantity is the parallelised region (gettimeofday
+        around the parallel section); the baseline is the original
+        sequential program on the same machine.  Both sides take the
+        best over the unroll grid.  The unroll search runs through
+        :mod:`repro.exec` — set ``TFLUX_JOBS`` to parallelise it and
+        ``TFLUX_CACHE_DIR`` to memoise results on disk.
+        """
+        from repro.exec import EvalRequest, evaluate_many
+
+        request = EvalRequest(
+            platform=self,
             bench=bench.name,
-            size_label=size.label,
+            size=size,
             nkernels=nkernels,
-            speedup=speedup,
-            best_unroll=unroll,
-            parallel_cycles=pcyc,
-            sequential_cycles=scyc,
-            per_unroll=per_unroll,
-            result=result,
+            unrolls=tuple(unrolls),
+            verify=verify,
+            max_threads=max_threads,
         )
+        return evaluate_many([request])[0]

@@ -236,6 +236,11 @@ class SimulatedRuntime:
                 "waits": self.tsu.waits,
                 "post_updates": self.tsu.post_updates,
                 "dispatched": self.tsu.threads_dispatched,
+                "steals": self.tsu.steals,
+                # Adapter-specific counters (e.g. multi-group transfer
+                # traffic) ride along so results stay self-describing
+                # when they cross the repro.exec process/cache boundary.
+                **getattr(self.adapter, "extra_stats", dict)(),
             },
         )
 

@@ -81,6 +81,12 @@ class FastMemorySystem:
         self._l2_clock = np.zeros(self.ngroups, dtype=np.int64)
         # Freed-by-invalidation L1 slots per core (see _sweep).
         self._holes = [0] * ncores
+        # Per-core coherence bitmasks, hoisted out of the per-sweep hot
+        # path (uint64 construction is surprisingly costly in a loop).
+        all_cores = (1 << ncores) - 1
+        self._corebit = [np.uint64(1 << c) for c in range(ncores)]
+        self._othermask = [np.uint64(all_cores ^ (1 << c)) for c in range(ncores)]
+        self._group_of = np.asarray(self.l2_groups, dtype=np.int64)
         self._state: dict[str, _RegionState] = {}
         for reg in regions:
             n = reg.lines(self.line_size)
@@ -157,8 +163,8 @@ class FastMemorySystem:
 
         clock = self._clock[core]
         l2_clock = self._l2_clock[group]
-        mybit = np.uint64(1 << core)
-        otherbits = np.uint64(((1 << self.ncores) - 1) ^ (1 << core))
+        mybit = self._corebit[core]
+        otherbits = self._othermask[core]
 
         last = rs.l1_last[core, lines]
         sh = rs.sharers[lines]
@@ -205,8 +211,7 @@ class FastMemorySystem:
                 for other in range(self.ncores):
                     if other == core:
                         continue
-                    obit = np.uint64(1 << other)
-                    held = (sh & obit) != 0
+                    held = (sh & self._corebit[other]) != 0
                     if not held.any():
                         continue
                     olast = rs.l1_last[other, lines]
@@ -224,12 +229,9 @@ class FastMemorySystem:
                 rs.owner[downgrade] = -1
                 # The previous owner's copy stays valid (now SHARED); the
                 # line also lands in the owner's L2 via writeback.
-                prev_owner_groups = {}
-                owners = own[remote_owned]
-                for g in np.unique(np.array([self.l2_groups[int(o)] for o in owners])):
-                    mask = np.array([self.l2_groups[int(o)] == g for o in owners])
-                    rs.l2_last[g, downgrade[mask]] = self._l2_clock[g]
-                del prev_owner_groups
+                owner_groups = self._group_of[own[remote_owned].astype(np.int64)]
+                for g in np.unique(owner_groups):
+                    rs.l2_last[g, downgrade[owner_groups == g]] = self._l2_clock[g]
             rs.sharers[lines] |= mybit
 
         cycles += n_coh * (self.mem.cache_to_cache_latency + l1r)

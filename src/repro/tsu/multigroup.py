@@ -74,6 +74,10 @@ class MultiGroupHardwareAdapter(ProtocolAdapter):
         ]
         self.intergroup_transfers = 0
 
+    def extra_stats(self) -> dict:
+        """Adapter counters surfaced in ``RunResult.tsu_stats``."""
+        return {"intergroup_transfers": self.intergroup_transfers}
+
     # -- partitioning -----------------------------------------------------------
     def group_of_kernel(self, kernel: int) -> int:
         """Static kernel -> TSU group partition (contiguous blocks)."""

@@ -1,0 +1,172 @@
+#!/usr/bin/env python
+"""Wall-clock timing for the three harness execution paths.
+
+Runs a representative slice of the paper grid (a Figure-5-style
+multi-benchmark evaluate batch) three ways — serial, parallel
+(``TFLUX_JOBS``), and warm-cache — verifies all three produce identical
+cycle numbers, and writes the measurements to ``BENCH_PR1.json``.
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_timing.py [--jobs N] [--out FILE]
+
+The grid is sized to take tens of seconds serially so pool start-up is
+amortised; ``--quick`` shrinks it for smoke runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+import time
+
+from repro.apps import problem_sizes
+from repro.exec import EvalRequest, ResultCache, evaluate_many
+from repro.platforms import TFluxHard, TFluxSoft
+
+
+def build_requests(quick: bool) -> list[EvalRequest]:
+    benches = ("trapez", "mmult", "qsort", "susan", "fft")
+    cells: list[EvalRequest] = []
+    for platform, nkernels, unrolls in (
+        (TFluxHard(), 27, (2, 8)),
+        (TFluxSoft(), 6, (8, 32)),
+    ):
+        for bench in benches:
+            cells.append(
+                EvalRequest(
+                    platform=platform,
+                    bench=bench,
+                    size=problem_sizes(bench, platform.target)[
+                        "small" if quick else "large"
+                    ],
+                    nkernels=nkernels,
+                    unrolls=unrolls,
+                    verify=False,
+                    max_threads=1024,
+                )
+            )
+    return cells
+
+
+def fingerprint(evs) -> list[tuple[str, str, int, int]]:
+    return [
+        (ev.platform, ev.bench, ev.parallel_cycles, ev.sequential_cycles)
+        for ev in evs
+    ]
+
+
+def timed(label: str, fn):
+    t0 = time.perf_counter()
+    out = fn()
+    dt = time.perf_counter() - t0
+    print(f"{label:>28}: {dt:8.2f}s")
+    return dt, out
+
+
+def time_headline(cache_dir: str) -> dict[str, float]:
+    """Time ``bench_headline.py`` twice against one fresh cache: cold then
+    warm.  (The cache must not be shared with the grid above — its specs
+    overlap bench_headline's, which would fake the cold number.)"""
+    env = dict(os.environ, TFLUX_CACHE_DIR=cache_dir)
+    env.setdefault("PYTHONPATH", "src")
+    cmd = [
+        sys.executable, "-m", "pytest",
+        "benchmarks/bench_headline.py", "--benchmark-only", "-q", "-p", "no:cacheprovider",
+    ]
+    out: dict[str, float] = {}
+    for label in ("cold", "warm"):
+        t0 = time.perf_counter()
+        subprocess.run(cmd, env=env, check=True, capture_output=True)
+        out[label] = round(time.perf_counter() - t0, 3)
+        print(f"{'bench_headline ' + label:>28}: {out[label]:8.2f}s")
+    return out
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--jobs", type=int, default=4)
+    ap.add_argument("--out", default="BENCH_PR1.json")
+    ap.add_argument("--quick", action="store_true")
+    ap.add_argument(
+        "--no-headline", action="store_true",
+        help="skip the repeated bench_headline.py cold/warm measurement",
+    )
+    args = ap.parse_args()
+
+    requests = build_requests(args.quick)
+    njobs = args.jobs
+    cache_dir = tempfile.mkdtemp(prefix="tflux-bench-cache-")
+    try:
+        serial_s, serial = timed(
+            "serial (TFLUX_JOBS unset)",
+            lambda: evaluate_many(requests, jobs=1, cache=None),
+        )
+        parallel_s, parallel = timed(
+            f"parallel (TFLUX_JOBS={njobs})",
+            lambda: evaluate_many(requests, jobs=njobs, cache=None),
+        )
+        cache = ResultCache(cache_dir)
+        cold_s, _ = timed(
+            "cache cold (serial + store)",
+            lambda: evaluate_many(requests, jobs=1, cache=cache),
+        )
+        warm_s, warm = timed(
+            "cache warm",
+            lambda: evaluate_many(requests, jobs=1, cache=cache),
+        )
+        if args.no_headline:
+            headline = None
+        else:
+            headline_cache = tempfile.mkdtemp(prefix="tflux-bench-headline-")
+            try:
+                headline = time_headline(headline_cache)
+            finally:
+                shutil.rmtree(headline_cache, ignore_errors=True)
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+
+    assert fingerprint(serial) == fingerprint(parallel) == fingerprint(warm), (
+        "execution paths disagree on cycle numbers"
+    )
+    print("cycle numbers identical across all three paths")
+
+    payload = {
+        "grid": {
+            "cells": len(requests),
+            "jobs_per_cell": len(requests[0].unrolls),
+            "quick": args.quick,
+        },
+        "host": {"cpu_count": os.cpu_count()},
+        "seconds": {
+            "serial": round(serial_s, 3),
+            f"parallel_jobs{njobs}": round(parallel_s, 3),
+            "cache_cold": round(cold_s, 3),
+            "cache_warm": round(warm_s, 3),
+        },
+        "speedup_vs_serial": {
+            f"parallel_jobs{njobs}": round(serial_s / parallel_s, 2),
+            "cache_warm": round(serial_s / warm_s, 1),
+        },
+        "identical_cycles": True,
+        "bench_headline_seconds": headline,
+        "note": (
+            "Parallel gains require real cores: on a 1-core host the pool "
+            "only adds fork overhead, while TFLUX_JOBS=4 on a 4-core host "
+            "tracks the core count (the jobs are independent, CPU-bound "
+            "simulations with no shared state)."
+        ),
+    }
+    with open(args.out, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {args.out}")
+
+
+if __name__ == "__main__":
+    main()
