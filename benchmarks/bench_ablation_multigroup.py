@@ -57,14 +57,14 @@ def _spec(n_groups: int) -> JobSpec:
 def run_fine_grained(n_groups: int) -> tuple[int, int]:
     """Returns (region cycles, inter-group transfers)."""
     out = run_job(_spec(n_groups))
-    return out.region_cycles, out.result.tsu_stats["intergroup_transfers"]
+    return out.region_cycles, out.result.counters["tsu.intergroup_transfers"]
 
 
 @pytest.fixture(scope="module")
 def sweep():
     outcomes = run_jobs([_spec(g) for g in GROUPS])
     return {
-        g: (out.region_cycles, out.result.tsu_stats["intergroup_transfers"])
+        g: (out.region_cycles, out.result.counters["tsu.intergroup_transfers"])
         for g, out in zip(GROUPS, outcomes)
     }
 

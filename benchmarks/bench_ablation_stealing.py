@@ -38,7 +38,7 @@ def _spec(bench_name: str, allow_stealing: bool, nkernels=27, unroll=4) -> JobSp
 
 def run(bench_name: str, allow_stealing: bool, nkernels=27, unroll=4):
     outcome = run_job(_spec(bench_name, allow_stealing, nkernels, unroll))
-    return outcome.region_cycles, outcome.result.tsu_stats["steals"]
+    return outcome.region_cycles, outcome.result.counters["tsu.steals"]
 
 
 @pytest.fixture(scope="module")
@@ -50,7 +50,7 @@ def sweep():
     outcomes = iter(run_jobs(specs))
     return {
         bench: {
-            steal: (out.region_cycles, out.result.tsu_stats["steals"])
+            steal: (out.region_cycles, out.result.counters["tsu.steals"])
             for steal in (False, True)
             for out in (next(outcomes),)
         }

@@ -47,8 +47,8 @@ def main() -> None:
                 base = wall
             print(
                 f"  {nk:>7} {wall * 1e3:>8.1f}ms {base / wall:>7.2f}x "
-                f"{result.tsu_stats['tub_pushes']:>11} "
-                f"{result.tsu_stats['waits']:>7}"
+                f"{result.counters['tub.pushes']:>11} "
+                f"{result.counters['tsu.waits']:>7}"
             )
     print(
         "\nMMULT (NumPy bodies, GIL released) shows real thread-level scaling;"

@@ -114,7 +114,7 @@ def main() -> None:
     print(
         f"native     kernels=4 wall={result.wall_seconds * 1e3:.1f}ms "
         f"result={'OK' if ok else 'MISMATCH'} "
-        f"(tub pushes: {result.tsu_stats['tub_pushes']})"
+        f"(tub pushes: {result.counters['tub.pushes']})"
     )
 
 

@@ -8,12 +8,9 @@ trace to ``/tmp/tflux_qsort_trace.json`` — open it at ``ui.perfetto.dev``
 to scrub through the schedule.
 """
 
-import json
-
 from repro.apps import get_benchmark, problem_sizes
+from repro.obs import Tracer, render_gantt, write_chrome_trace
 from repro.platforms import TFluxHard
-from repro.runtime.simdriver import SimulatedRuntime
-from repro.runtime.trace import Tracer, render_gantt, to_chrome_trace
 
 
 def main() -> None:
@@ -23,13 +20,7 @@ def main() -> None:
 
     platform = TFluxHard()
     tracer = Tracer()
-    result = SimulatedRuntime(
-        prog,
-        platform.machine,
-        nkernels=8,
-        adapter_factory=platform.adapter_factory(),
-        tracer=tracer,
-    ).run()
+    result = platform.execute(prog, nkernels=8, tracer=tracer)
     bench.verify(result.env, size)
 
     print(f"QSORT ({size}) on tfluxhard, 8 kernels — "
@@ -50,8 +41,7 @@ def main() -> None:
         )
 
     out = "/tmp/tflux_qsort_trace.json"
-    with open(out, "w") as fh:
-        json.dump(to_chrome_trace(tracer), fh)
+    write_chrome_trace(out, tracer)
     print(f"\nChrome trace written to {out} (open in ui.perfetto.dev)")
 
 

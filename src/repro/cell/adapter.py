@@ -97,10 +97,24 @@ class CellTSUAdapter(ProtocolAdapter):
         self._ppe_wake: Optional[Event] = None
         self._ppe_started = False
         self._shutdown = False
-        # Statistics.
+        # Statistics (plain ints on the hot path; see publish_counters).
         self.ppe_busy_cycles = 0
         self.ppe_commands = 0
         self.ppe_polls = 0
+
+    def publish_counters(self, counters) -> None:
+        ppe = counters.scope("ppe")
+        ppe.inc("busy_cycles", self.ppe_busy_cycles)
+        ppe.inc("commands", self.ppe_commands)
+        ppe.inc("polls", self.ppe_polls)
+        cmdbuf = counters.scope("cmdbuf")
+        cmdbuf.inc("writes", sum(cb.writes for cb in self.command_buffers))
+        cmdbuf.inc("stalls", sum(cb.stalls for cb in self.command_buffers))
+        dma = counters.scope("dma")
+        dma.inc("bytes_imported", self.shared_buffer.bytes_imported)
+        dma.inc("bytes_exported", self.shared_buffer.bytes_exported)
+        dma.inc("imports", self.shared_buffer.imports)
+        dma.inc("exports", self.shared_buffer.exports)
 
     # -- PPE emulator lifecycle ----------------------------------------------------
     def start(self) -> None:

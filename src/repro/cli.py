@@ -52,6 +52,13 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help=f"persistent result cache directory (overrides {ENV_CACHE_DIR})",
     )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="FILE",
+        help="write a Chrome-trace JSON timeline of one run at the best "
+        "unroll (open in Perfetto / chrome://tracing)",
+    )
     args = parser.parse_args(argv)
 
     # The exec layer reads the knobs from the environment at call time;
@@ -83,14 +90,34 @@ def main(argv: list[str] | None = None) -> int:
         for nk in counts
     ]
     try:
-        for ev in evaluate_many(requests):
+        evaluations = evaluate_many(requests)
+        for ev in evaluations:
             print(f"  {ev.row()}")
+        if args.trace_out:
+            _write_trace(args.trace_out, platform, args.benchmark, size,
+                         evaluations[0])
     except (ValueError, MemoryError) as exc:
         import sys
 
         print(f"tflux-run: error: {exc}", file=sys.stderr)
         return 2
     return 0
+
+
+def _write_trace(path: str, platform, bench_name: str, size, evaluation) -> None:
+    """Re-run the first evaluated cell at its best unroll with a
+    collecting probe and export the timeline as Chrome-trace JSON."""
+    from repro.apps import get_benchmark
+    from repro.obs import Tracer, write_chrome_trace
+
+    prog = get_benchmark(bench_name).build(size, unroll=evaluation.best_unroll)
+    tracer = Tracer()
+    platform.execute(prog, nkernels=evaluation.nkernels, tracer=tracer)
+    write_chrome_trace(path, tracer)
+    print(
+        f"trace: {len(tracer.spans)} spans -> {path} "
+        "(load in Perfetto or chrome://tracing)"
+    )
 
 
 if __name__ == "__main__":

@@ -15,10 +15,11 @@ content-addressable — the cache key is a SHA-256 digest over
 
 The cache directory is taken from the ``TFLUX_CACHE_DIR`` environment
 variable; when it is unset or empty, caching is disabled.  Entries are
-pickled :class:`~repro.exec.pool.JobOutcome` objects with the functional
-``Environment`` stripped (the cache stores *timing* results — cycle
-counts and statistics — never program state, preserving the
-functional/timing split).
+pickled :class:`~repro.exec.pool.JobOutcome` objects whose ``result`` is
+the env-free :class:`~repro.obs.RunRecord` (the cache stores *timing*
+results — cycle counts, counters, spans — never program state,
+preserving the functional/timing split).  Reads additionally refuse
+records carrying a stale ``schema_version``.
 """
 
 from __future__ import annotations
@@ -143,8 +144,27 @@ class ResultCache:
         except (OSError, pickle.PickleError, EOFError, AttributeError, ImportError):
             self.misses += 1
             return None
+        if not self._schema_ok(value):
+            self.misses += 1
+            return None
         self.hits += 1
         return value
+
+    @staticmethod
+    def _schema_ok(value: Any) -> bool:
+        """Refuse entries whose RunRecord predates the current schema.
+
+        The source fingerprint already invalidates on any ``repro`` code
+        edit, but a cache directory can outlive an install (or be shared
+        across checkouts); a stale record deserialising silently into a
+        newer field set is the failure mode this guards against.
+        """
+        record = getattr(value, "result", None)
+        if record is None:
+            return True
+        from repro.obs import SCHEMA_VERSION
+
+        return getattr(record, "schema_version", None) == SCHEMA_VERSION
 
     def put(self, digest: str, value: Any) -> None:
         path = self._path(digest)

@@ -32,7 +32,6 @@ Knobs (both read at call time, so tests can monkeypatch):
 
 from __future__ import annotations
 
-import dataclasses
 import multiprocessing
 import os
 from concurrent.futures import ProcessPoolExecutor
@@ -43,8 +42,8 @@ from repro.exec.cache import ResultCache, cache_from_env, spec_digest
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.apps.common import ProblemSize
+    from repro.obs import RunRecord
     from repro.platforms.base import Evaluation, Platform
-    from repro.runtime.stats import RunResult
 
 __all__ = [
     "JobSpec",
@@ -97,6 +96,10 @@ class JobSpec:
     tsu_capacity: Optional[int] = None
     exact_memory: bool = False
     allow_stealing: bool = False
+    #: Attach a collecting probe to the parallel run and carry its spans
+    #: in the outcome's RunRecord (off by default: span lists can be
+    #: large and most sweeps only need counters and cycles).
+    collect_spans: bool = False
     #: Capture exceptions from the run as part of the outcome instead of
     #: raising (used by grids whose interesting result *is* the failure,
     #: e.g. the Cell Local-Store capacity wall).
@@ -107,15 +110,16 @@ class JobSpec:
 class JobOutcome:
     """What one job returns (and what the disk cache stores).
 
-    ``result`` is the parallel run's :class:`RunResult`; its functional
-    ``env`` is stripped whenever the outcome crosses a process boundary
-    or enters the cache — timing artefacts only, never program state.
+    ``result`` is the parallel run's telemetry as the env-free,
+    schema-versioned :class:`~repro.obs.RunRecord` — functional output is
+    verified inside the job, then only timing artefacts cross the
+    process/cache boundary (never program state).
     """
 
     cycles: int
     region_cycles: int
     seq_cycles: Optional[int] = None
-    result: Optional["RunResult"] = None
+    result: Optional["RunRecord"] = None
     #: (fully-qualified exception class, message) when captured.
     error: Optional[tuple[str, str]] = None
 
@@ -125,19 +129,25 @@ class JobOutcome:
         return self.region_cycles or self.cycles
 
 
-def run_job(spec: JobSpec, keep_env: bool = True) -> JobOutcome:
+def run_job(spec: JobSpec) -> JobOutcome:
     """Execute one job in this process.
 
     Builds the program(s) fresh — never reuses a program object — runs
     the parallel simulation (and the sequential baseline in
-    ``"evaluate"`` mode), optionally verifies the functional results
-    against the benchmark oracle, and returns the outcome.
+    ``"evaluate"`` mode), verifies the functional results against the
+    benchmark oracle while the live ``Environment`` is still at hand,
+    and returns the outcome carrying only the run's RunRecord.
     """
     import repro.apps  # ensures the benchmark registry is populated
 
     bench = repro.apps.get_benchmark(spec.bench)
     platform = spec.platform
     try:
+        tracer = None
+        if spec.collect_spans:
+            from repro.obs import Tracer
+
+            tracer = Tracer()
         prog = bench.build(spec.size, unroll=spec.unroll, max_threads=spec.max_threads)
         par = platform.execute(
             prog,
@@ -145,6 +155,7 @@ def run_job(spec: JobSpec, keep_env: bool = True) -> JobOutcome:
             tsu_capacity=spec.tsu_capacity,
             exact_memory=spec.exact_memory,
             allow_stealing=spec.allow_stealing,
+            tracer=tracer,
         )
         if spec.verify:
             bench.verify(par.env, spec.size)
@@ -153,35 +164,21 @@ def run_job(spec: JobSpec, keep_env: bool = True) -> JobOutcome:
             seq_prog = bench.build(
                 spec.size, unroll=spec.unroll, max_threads=spec.max_threads
             )
-            seq = platform.sequential_baseline(seq_prog)
+            seq = platform.sequential_baseline(
+                seq_prog, exact_memory=spec.exact_memory
+            )
             seq_cycles = seq.region_cycles or seq.cycles
-        if not keep_env:
-            par = dataclasses.replace(par, env=None)
         return JobOutcome(
             cycles=par.cycles,
             region_cycles=par.region_cycles,
             seq_cycles=seq_cycles,
-            result=par,
+            result=par.to_record(),
         )
     except Exception as exc:
         if not spec.capture_errors:
             raise
         qualname = f"{type(exc).__module__}.{type(exc).__qualname__}"
         return JobOutcome(0, 0, error=(qualname, str(exc)))
-
-
-def _worker(spec: JobSpec) -> JobOutcome:
-    """Pool entry point: run and return an env-stripped outcome."""
-    return run_job(spec, keep_env=False)
-
-
-def _slim(outcome: JobOutcome) -> JobOutcome:
-    """A copy safe for the disk cache (functional state stripped)."""
-    if outcome.result is None or outcome.result.env is None:
-        return outcome
-    return dataclasses.replace(
-        outcome, result=dataclasses.replace(outcome.result, env=None)
-    )
 
 
 def _pool_context() -> multiprocessing.context.BaseContext:
@@ -227,15 +224,15 @@ def run_jobs(
                 max_workers=workers, mp_context=_pool_context()
             ) as pool:
                 for i, outcome in zip(
-                    pending, pool.map(_worker, [specs[i] for i in pending])
+                    pending, pool.map(run_job, [specs[i] for i in pending])
                 ):
                     results[i] = outcome
         else:
             for i in pending:
-                results[i] = run_job(specs[i], keep_env=True)
+                results[i] = run_job(specs[i])
         if cache is not None:
             for i in pending:
-                cache.put(digests[i], _slim(results[i]))
+                cache.put(digests[i], results[i])
     return results  # type: ignore[return-value]
 
 
@@ -297,7 +294,7 @@ def _assemble(req: EvalRequest, outcomes: Sequence[JobOutcome]) -> "Evaluation":
 
     seq_best = min(o.seq_cycles for o in outcomes)  # type: ignore[type-var]
     assert seq_best is not None
-    best: Optional[tuple[float, int, int, Optional["RunResult"]]] = None
+    best: Optional[tuple[float, int, int, Optional["RunRecord"]]] = None
     per_unroll: dict[int, float] = {}
     for unroll, outcome in zip(req.unrolls, outcomes):
         par_cycles = outcome.measured_cycles

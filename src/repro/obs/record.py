@@ -1,0 +1,214 @@
+"""RunRecord: the schema-versioned, picklable telemetry payload of one run.
+
+A :class:`~repro.runtime.stats.RunResult` is a *live* object — it carries
+the program's mutated :class:`~repro.core.environment.Environment` so
+callers can verify functional output.  A :class:`RunRecord` is what is
+left once the run is over and only the *measurement* matters: identity,
+cycle/wall totals, per-kernel stats, memory-system stats, the unified
+counter registry, and any collected spans.  It is what crosses the
+:mod:`repro.exec` pool/cache boundary (records are env-free by
+construction, so nothing needs stripping) and what the analysis layer
+consumes.
+
+The record is **schema-versioned**: :data:`SCHEMA_VERSION` must be bumped
+whenever the field set of the record (or of any type embedded in it)
+changes.  ``tools/check_record_schema.py`` enforces this against a golden
+fixture, and the exec cache refuses to return records whose version does
+not match — a stale cache can never be deserialised silently.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.obs.counters import Counters
+from repro.obs.probe import Span
+from repro.sim.cache import CacheStats
+from repro.sim.cpu import CoreStats
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "KernelStats",
+    "RunRecord",
+    "record_schema",
+    "verify_schema_fixture",
+]
+
+#: Bump whenever the field set of RunRecord or an embedded type changes.
+SCHEMA_VERSION = 1
+
+
+@dataclass
+class KernelStats:
+    """Per-kernel execution summary.
+
+    ``core`` cycle fields hold simulated cycles on the simulated machines
+    and microseconds of wall time on the native backend — one integer time
+    axis either way.
+    """
+
+    kernel_id: int
+    dthreads: int = 0
+    fetches: int = 0
+    waits: int = 0
+    core: CoreStats = field(default_factory=CoreStats)
+
+
+@dataclass
+class RunRecord:
+    """Everything measured about one run, and nothing functional."""
+
+    program: str
+    platform: str
+    nkernels: int
+    cycles: int
+    #: Cycles of the parallelised region only (prologue/epilogue excluded)
+    #: — what the paper measures with gettimeofday (§5).
+    region_cycles: int
+    #: Wall-clock seconds for native runs (0.0 for simulated runs).
+    wall_seconds: float
+    kernels: list[KernelStats]
+    memory: Optional[CacheStats]
+    #: The unified counter registry (tsu.*, tub.*, mmi.*, ppe.*, dma.*, ...).
+    counters: Counters
+    #: Spans collected by an attached probe (empty unless one was attached).
+    spans: list[Span]
+    schema_version: int = SCHEMA_VERSION
+
+    # -- the paper's derived quantities ------------------------------------
+    @property
+    def measured_cycles(self) -> int:
+        """The §5 measured quantity: region cycles, else total cycles."""
+        return self.region_cycles or self.cycles
+
+    def speedup_over(self, sequential_cycles: int) -> float:
+        """Paper-style speedup: sequential time / parallel time, over the
+        parallelised region."""
+        cyc = self.measured_cycles
+        if cyc <= 0:
+            raise ValueError("run has no cycle measurement")
+        return sequential_cycles / cyc
+
+    @property
+    def total_dthreads(self) -> int:
+        return sum(k.dthreads for k in self.kernels)
+
+    def utilisation(self) -> float:
+        """Mean fraction of kernel time spent busy (not waiting on TSU)."""
+        if not self.kernels:
+            return 0.0
+        return sum(k.core.utilisation() for k in self.kernels) / len(self.kernels)
+
+    def summary_line(self) -> str:
+        return (
+            f"{self.program:>8s} on {self.platform:<10s} "
+            f"kernels={self.nkernels:<3d} cycles={self.cycles:>14,d} "
+            f"util={self.utilisation():.2f}"
+        )
+
+    # -- JSON round trip ---------------------------------------------------
+    def to_json_dict(self) -> dict[str, Any]:
+        """A plain-JSON form of the record (inverse: :meth:`from_json_dict`)."""
+        return {
+            "schema_version": self.schema_version,
+            "program": self.program,
+            "platform": self.platform,
+            "nkernels": self.nkernels,
+            "cycles": self.cycles,
+            "region_cycles": self.region_cycles,
+            "wall_seconds": self.wall_seconds,
+            "kernels": [
+                {
+                    "kernel_id": k.kernel_id,
+                    "dthreads": k.dthreads,
+                    "fetches": k.fetches,
+                    "waits": k.waits,
+                    "core": dataclasses.asdict(k.core),
+                }
+                for k in self.kernels
+            ],
+            "memory": dataclasses.asdict(self.memory) if self.memory else None,
+            "counters": self.counters.as_dict(),
+            "spans": [dataclasses.asdict(s) for s in self.spans],
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: dict[str, Any]) -> "RunRecord":
+        version = data["schema_version"]
+        if version != SCHEMA_VERSION:
+            raise ValueError(
+                f"RunRecord schema {version} != supported {SCHEMA_VERSION}"
+            )
+        return cls(
+            program=data["program"],
+            platform=data["platform"],
+            nkernels=data["nkernels"],
+            cycles=data["cycles"],
+            region_cycles=data["region_cycles"],
+            wall_seconds=data["wall_seconds"],
+            kernels=[
+                KernelStats(
+                    kernel_id=k["kernel_id"],
+                    dthreads=k["dthreads"],
+                    fetches=k["fetches"],
+                    waits=k["waits"],
+                    core=CoreStats(**k["core"]),
+                )
+                for k in data["kernels"]
+            ],
+            memory=CacheStats(**data["memory"]) if data["memory"] else None,
+            counters=Counters(data["counters"]),
+            spans=[Span(**s) for s in data["spans"]],
+            schema_version=version,
+        )
+
+
+# -- schema governance ---------------------------------------------------------
+def record_schema() -> dict[str, list[str]]:
+    """The record's complete field set: RunRecord plus every embedded type.
+
+    This is what the golden fixture (``tests/data/run_record_schema.json``)
+    pins; any change here without a :data:`SCHEMA_VERSION` bump fails
+    ``tools/check_record_schema.py``.
+    """
+    return {
+        cls.__name__: [f.name for f in dataclasses.fields(cls)]
+        for cls in (RunRecord, KernelStats, CoreStats, CacheStats, Span)
+    }
+
+
+def verify_schema_fixture(fixture: dict[str, Any]) -> list[str]:
+    """Compare the live schema against a golden *fixture* dict.
+
+    Returns a list of human-readable problems (empty = consistent).  The
+    rules: a changed field set requires a version bump, and a version bump
+    requires regenerating the fixture — so the fixture diff and the bump
+    always land in the same commit.
+    """
+    problems: list[str] = []
+    golden_version = fixture.get("schema_version")
+    golden_fields = fixture.get("fields", {})
+    current = record_schema()
+    fields_changed = golden_fields != current
+    if fields_changed and golden_version == SCHEMA_VERSION:
+        for name in sorted(set(golden_fields) | set(current)):
+            if golden_fields.get(name) != current.get(name):
+                problems.append(
+                    f"{name} fields changed: {golden_fields.get(name)} -> "
+                    f"{current.get(name)}"
+                )
+        problems.append(
+            "RunRecord field set changed without a SCHEMA_VERSION bump: "
+            f"bump repro.obs.record.SCHEMA_VERSION (still {SCHEMA_VERSION}) "
+            "and regenerate the fixture with "
+            "`python tools/check_record_schema.py --update`"
+        )
+    elif golden_version != SCHEMA_VERSION:
+        problems.append(
+            f"golden fixture pins schema {golden_version} but the code is at "
+            f"{SCHEMA_VERSION}: regenerate the fixture with "
+            "`python tools/check_record_schema.py --update`"
+        )
+    return problems

@@ -16,12 +16,14 @@ from typing import Callable, Iterable, Optional, Sequence
 
 from repro.apps.common import Benchmark, ProblemSize
 from repro.core.program import DDMProgram
+from repro.obs import Probe, RunRecord
 from repro.runtime.simdriver import SimulatedRuntime, run_sequential_timed
 from repro.runtime.stats import RunResult
 from repro.sim.engine import Engine
 from repro.sim.machine import MachineConfig
 from repro.tsu.base import ProtocolAdapter
 from repro.tsu.group import TSUGroup
+from repro.tsu.policy import PlacementPolicy, contiguous_placement
 
 __all__ = ["Platform", "Evaluation"]
 
@@ -39,7 +41,10 @@ class Evaluation:
     parallel_cycles: int
     sequential_cycles: int
     per_unroll: dict[int, float] = field(default_factory=dict)
-    result: Optional[RunResult] = None
+    #: Telemetry of the best parallel run: the env-free, picklable
+    #: :class:`~repro.obs.RunRecord` (it crossed the repro.exec pool and
+    #: cache boundaries; functional output is verified before slimming).
+    result: Optional[RunRecord] = None
 
     def row(self) -> str:
         return (
@@ -76,8 +81,15 @@ class Platform:
         tsu_capacity: Optional[int] = None,
         exact_memory: bool = False,
         allow_stealing: bool = False,
+        placement: PlacementPolicy = contiguous_placement,
+        tracer: Optional[Probe] = None,
     ) -> RunResult:
-        """Run *program* with *nkernels* Kernels; returns the result."""
+        """Run *program* with *nkernels* Kernels; returns the result.
+
+        Pass a collecting *tracer* (e.g. :class:`repro.obs.Tracer`) to
+        keep per-DThread spans, and a *placement* policy to override the
+        default contiguous DThread→kernel assignment.
+        """
         if nkernels > self.max_kernels:
             raise ValueError(
                 f"{self.name} offers at most {self.max_kernels} kernels "
@@ -89,15 +101,28 @@ class Platform:
             nkernels=nkernels,
             adapter_factory=self.adapter_factory(),
             tsu_capacity=tsu_capacity,
+            placement=placement,
             exact_memory=exact_memory,
             allow_stealing=allow_stealing,
             platform_name=self.name,
+            tracer=tracer,
         )
         return runtime.run()
 
-    def sequential_baseline(self, program: DDMProgram) -> RunResult:
-        """The §5 baseline: same machine, one core, no TFlux overheads."""
-        return run_sequential_timed(program, self.machine)
+    def sequential_baseline(
+        self,
+        program: DDMProgram,
+        exact_memory: bool = False,
+        tracer: Optional[Probe] = None,
+    ) -> RunResult:
+        """The §5 baseline: same machine, one core, no TFlux overheads.
+
+        *exact_memory* selects the exact cache model so the baseline is
+        priced by the same memory system as a matching parallel run.
+        """
+        return run_sequential_timed(
+            program, self.machine, exact_memory=exact_memory, tracer=tracer
+        )
 
     # -- the paper's measurement protocol ------------------------------------------------
     def evaluate(

@@ -14,6 +14,13 @@ Python DThread bodies, so wall-clock scaling is only visible for bodies
 that release the GIL (NumPy kernels).  The cycle-accurate speedup
 evaluation therefore lives on the simulated machines; this backend is the
 functional/portability proof.
+
+Telemetry follows the same :mod:`repro.obs` contract as the simulated
+backends, with microseconds of wall time where they use cycles: each
+kernel's :class:`~repro.sim.cpu.CoreStats` splits its lifetime into
+compute (DThread bodies), runtime (TSU/TUB protocol under the lock) and
+idle (condition waits), and an attached probe receives one span per
+DThread body on a µs axis starting at 0.
 """
 
 from __future__ import annotations
@@ -23,7 +30,9 @@ import time
 from typing import Optional
 
 from repro.core.program import DDMProgram
+from repro.obs import NULL_PROBE, Counters, Probe
 from repro.runtime.stats import KernelStats, RunResult
+from repro.sim.cpu import CoreStats
 from repro.tsu.group import FetchKind, TSUGroup
 from repro.tsu.policy import PlacementPolicy, contiguous_placement
 from repro.tsu.tub import ThreadUpdateBuffer
@@ -31,6 +40,26 @@ from repro.tsu.tub import ThreadUpdateBuffer
 __all__ = ["NativeRuntime"]
 
 _WAIT_TIMEOUT = 0.02  # seconds; condition re-check period (lost-wakeup guard)
+
+
+class _KernelClock:
+    """Per-kernel wall-time accounting in microseconds."""
+
+    __slots__ = ("compute_us", "runtime_us", "idle_us")
+
+    def __init__(self) -> None:
+        self.compute_us = 0.0
+        self.runtime_us = 0.0
+        self.idle_us = 0.0
+
+    def core_stats(self, dthreads: int) -> CoreStats:
+        return CoreStats(
+            compute_cycles=int(self.compute_us),
+            memory_cycles=0,
+            runtime_cycles=int(self.runtime_us),
+            idle_cycles=int(self.idle_us),
+            dthreads_executed=dthreads,
+        )
 
 
 class NativeRuntime:
@@ -45,6 +74,7 @@ class NativeRuntime:
         tub_segments: int = 8,
         tub_segment_capacity: int = 256,
         allow_stealing: bool = False,
+        tracer: Optional[Probe] = None,
     ) -> None:
         if nkernels < 1:
             raise ValueError("need at least one kernel")
@@ -61,17 +91,31 @@ class NativeRuntime:
         self._cond = threading.Condition()
         self._errors: list[BaseException] = []
         self._stats = [KernelStats(k) for k in range(nkernels)]
+        self._clocks = [_KernelClock() for _ in range(nkernels)]
+        self.probe: Probe = tracer if tracer is not None else NULL_PROBE
+        self._probe_lock = threading.Lock()
+        self._t0 = 0.0
+        # Emulator-side accounting (single writer: the emulator thread).
+        self.emulator_batches = 0
+        self.emulator_items = 0
+        self.emulator_busy_us = 0.0
         self._ran = False
+
+    def _now_us(self) -> float:
+        """Microseconds since the run started (span/CoreStats axis)."""
+        return (time.perf_counter() - self._t0) * 1e6
 
     # -- kernel thread ---------------------------------------------------------
     def _kernel_main(self, k: int) -> None:
         env = self.program.env
         stats = self._stats[k]
+        clock = self._clocks[k]
         tsu = self.tsu
         try:
             while True:
                 if self._errors:
                     return  # another thread failed; shut down cleanly
+                t0 = self._now_us()
                 with self._cond:
                     fetch = tsu.fetch(k)
                     stats.fetches += 1
@@ -79,36 +123,62 @@ class NativeRuntime:
                         if self._errors:
                             return
                         stats.waits += 1
+                        t_wait = self._now_us()
+                        clock.runtime_us += t_wait - t0
                         self._cond.wait(timeout=_WAIT_TIMEOUT)
+                        t0 = self._now_us()
+                        clock.idle_us += t0 - t_wait
                         fetch = tsu.fetch(k)
                         stats.fetches += 1
+                clock.runtime_us += self._now_us() - t0
 
                 if fetch.kind == FetchKind.EXIT:
                     return
 
                 if fetch.kind == FetchKind.INLET:
+                    t0 = self._now_us()
                     with self._cond:
                         tsu.complete_inlet(k)
                         self._cond.notify_all()
+                    t1 = self._now_us()
+                    clock.runtime_us += t1 - t0
+                    self._record_span(k, fetch.instance.name, "inlet", t0, t1)
                     continue
 
                 if fetch.kind == FetchKind.OUTLET:
+                    t0 = self._now_us()
                     with self._cond:
                         tsu.complete_outlet(k)
                         self._cond.notify_all()
+                    t1 = self._now_us()
+                    clock.runtime_us += t1 - t0
+                    self._record_span(k, fetch.instance.name, "outlet", t0, t1)
                     continue
 
                 # Application DThread: body runs without any TSU lock held.
                 inst = fetch.instance
                 assert inst is not None and fetch.local_iid is not None
+                t_body = self._now_us()
                 inst.template.run(env, inst.ctx)
+                t_done = self._now_us()
+                clock.compute_us += t_done - t_body
                 stats.dthreads += 1
                 # Completion notification goes through the TUB.
                 self.tub.push((k, fetch.local_iid), preferred_segment=k)
+                clock.runtime_us += self._now_us() - t_done
+                self._record_span(k, inst.name, "thread", t_body, t_done)
         except BaseException as exc:  # surface worker failures to run()
             self._errors.append(exc)
             with self._cond:
                 self._cond.notify_all()
+
+    def _record_span(
+        self, kernel: int, name: str, kind: str, start: float, end: float
+    ) -> None:
+        # Probe implementations are not required to be thread-safe; the
+        # native backend serialises its span stream.
+        with self._probe_lock:
+            self.probe.record(kernel, name, kind, start, end)
 
     # -- TSU emulator thread ----------------------------------------------------------
     def _emulator_main(self) -> None:
@@ -117,10 +187,14 @@ class NativeRuntime:
             while True:
                 items = self.tub.drain()
                 if items:
+                    t0 = self._now_us()
                     with self._cond:
                         for kernel, local_iid in items:
                             tsu.complete_thread(kernel, local_iid)
                         self._cond.notify_all()
+                    self.emulator_busy_us += self._now_us() - t0
+                    self.emulator_batches += 1
+                    self.emulator_items += len(items)
                     continue
                 if tsu.is_exited() or self._errors:
                     return
@@ -138,6 +212,7 @@ class NativeRuntime:
         env = self.program.env
 
         t_start = time.perf_counter()
+        self._t0 = t_start
         for section in self.program.prologue:
             section.run(env)
 
@@ -164,6 +239,17 @@ class NativeRuntime:
             section.run(env)
         wall = time.perf_counter() - t_start
 
+        for stats, clock in zip(self._stats, self._clocks):
+            stats.core = clock.core_stats(stats.dthreads)
+
+        counters = Counters()
+        self.tsu.publish_counters(counters)
+        self.tub.publish_counters(counters)
+        emu = counters.scope("emulator")
+        emu.inc("items", self.emulator_items)
+        emu.inc("batches", self.emulator_batches)
+        emu.inc("busy_us", int(self.emulator_busy_us))
+
         return RunResult(
             program=self.program.name,
             platform="native",
@@ -171,12 +257,7 @@ class NativeRuntime:
             cycles=0,
             env=env,
             kernels=self._stats,
-            tsu_stats={
-                "fetches": self.tsu.fetches,
-                "waits": self.tsu.waits,
-                "post_updates": self.tsu.post_updates,
-                "tub_pushes": self.tub.pushes,
-                "tub_retries": self.tub.push_retries,
-            },
+            counters=counters,
+            spans=list(self.probe.spans),
             wall_seconds=wall,
         )

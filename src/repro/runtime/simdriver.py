@@ -19,6 +19,7 @@ from typing import Callable, Generator, Iterable, Optional
 
 from repro.core.dthread import ThreadKind
 from repro.core.program import DDMProgram
+from repro.obs import NULL_PROBE, Counters, Probe
 from repro.runtime.stats import KernelStats, RunResult
 from repro.sim.cpu import Core
 from repro.sim.memory import MainMemory
@@ -79,8 +80,10 @@ class SimulatedRuntime:
         for region in program.env.regions:
             self.main_memory.allocate(region.size)
         self.cores = [Core(i) for i in range(nkernels)]
-        #: Optional repro.runtime.trace.Tracer collecting per-DThread spans.
-        self.tracer = tracer
+        #: The span sink (repro.obs probe protocol).  Every run emits
+        #: spans through it; pass a collecting probe (e.g.
+        #: :class:`repro.obs.Tracer`) to keep them.
+        self.probe: Probe = tracer if tracer is not None else NULL_PROBE
         self._wait_events: dict[int, Event] = {}
         self._ran = False
 
@@ -130,16 +133,14 @@ class SimulatedRuntime:
                 t0 = engine.now
                 yield from adapter.complete_inlet(k, fetch.block)
                 core.charge_runtime(int(engine.now - t0))
-                if self.tracer is not None:
-                    self.tracer.record(k, fetch.instance.name, "inlet", t0, engine.now)
+                self.probe.record(k, fetch.instance.name, "inlet", t0, engine.now)
                 continue
 
             if fetch.kind == FetchKind.OUTLET:
                 t0 = engine.now
                 yield from adapter.complete_outlet(k, fetch.block)
                 core.charge_runtime(int(engine.now - t0))
-                if self.tracer is not None:
-                    self.tracer.record(k, fetch.instance.name, "outlet", t0, engine.now)
+                self.probe.record(k, fetch.instance.name, "outlet", t0, engine.now)
                 continue
 
             # Application DThread: run functionally, then charge its time.
@@ -162,8 +163,7 @@ class SimulatedRuntime:
             core.charge_runtime(int(engine.now - t0))
             core.finished_dthread()
             stats.dthreads += 1
-            if self.tracer is not None:
-                self.tracer.record(k, inst.name, "thread", t_thread, engine.now)
+            self.probe.record(k, inst.name, "thread", t_thread, engine.now)
 
     # -- sequential sections --------------------------------------------------------
     def _section_cycles(self, section) -> tuple[int, int]:
@@ -222,6 +222,13 @@ class SimulatedRuntime:
             raise RuntimeError("simulation stalled (deadlocked kernels?)")
         for k, ks in enumerate(stats_list):
             ks.core = self.cores[k].stats
+        # One registry for all accounting: the TSU Group's scheduling
+        # counters plus whatever the platform adapter published (traffic,
+        # emulator occupancy, DMA volume) — the single path every counter
+        # takes into the RunRecord crossing the repro.exec boundary.
+        counters = Counters()
+        self.tsu.publish_counters(counters)
+        self.adapter.publish_counters(counters)
         return RunResult(
             program=self.program.name,
             platform=self.platform_name,
@@ -231,17 +238,8 @@ class SimulatedRuntime:
             env=self.program.env,
             kernels=stats_list,
             memory=self.memsys.total_stats(),
-            tsu_stats={
-                "fetches": self.tsu.fetches,
-                "waits": self.tsu.waits,
-                "post_updates": self.tsu.post_updates,
-                "dispatched": self.tsu.threads_dispatched,
-                "steals": self.tsu.steals,
-                # Adapter-specific counters (e.g. multi-group transfer
-                # traffic) ride along so results stay self-describing
-                # when they cross the repro.exec process/cache boundary.
-                **getattr(self.adapter, "extra_stats", dict)(),
-            },
+            counters=counters,
+            spans=list(self.probe.spans),
         )
 
 
@@ -249,38 +247,56 @@ def run_sequential_timed(
     program: DDMProgram,
     machine: MachineConfig,
     exact_memory: bool = False,
+    tracer: Optional[Probe] = None,
 ) -> RunResult:
     """The paper's baseline: the original sequential program on one core.
 
     Executes prologue, every DThread instance in topological order, and
     the epilogue on core 0 with no TSU interaction and no runtime cost.
+    Spans are emitted through the shared :mod:`repro.obs` probe interface
+    (all on kernel 0): pass a collecting probe to keep the timeline.
     """
+    probe: Probe = tracer if tracer is not None else NULL_PROBE
     memsys = machine.memory_system(program.env.regions, exact=exact_memory)
     env = program.env
     cycles = 0
+    core = Core(0)
 
     def section_cost(section) -> int:
-        c = section.compute_cost(env)
+        c = int(section.compute_cost(env))
+        m = 0
         if section.accesses is not None:
-            c += memsys.run_summary(0, section.accesses(env))
-        return int(c)
+            m = int(memsys.run_summary(0, section.accesses(env)))
+        core.charge_compute(c)
+        core.charge_memory(m)
+        return c + m
 
     for section in program.prologue:
         section.run(env)
+        t0 = cycles
         cycles += section_cost(section)
+        probe.record(0, section.name, "section", t0, cycles)
 
     region_start = cycles
     for inst in program.fire_order():
         inst.template.run(env, inst.ctx)
-        cycles += inst.template.compute_cost(env, inst.ctx)
-        cycles += memsys.run_summary(0, inst.template.access_summary(env, inst.ctx))
+        t0 = cycles
+        compute = int(inst.template.compute_cost(env, inst.ctx))
+        memory = int(memsys.run_summary(0, inst.template.access_summary(env, inst.ctx)))
+        cycles += compute + memory
+        core.charge_compute(compute)
+        core.charge_memory(memory)
+        core.finished_dthread()
+        probe.record(0, inst.name, "thread", t0, cycles)
     region_cycles = cycles - region_start
 
     for section in program.epilogue:
         section.run(env)
+        t0 = cycles
         cycles += section_cost(section)
+        probe.record(0, section.name, "section", t0, cycles)
 
-    stats = KernelStats(0)
+    stats = KernelStats(0, dthreads=core.stats.dthreads_executed, core=core.stats)
     return RunResult(
         program=program.name,
         platform=f"{machine.name}-sequential",
@@ -290,4 +306,5 @@ def run_sequential_timed(
         env=env,
         kernels=[stats],
         memory=memsys.total_stats(),
+        spans=list(probe.spans),
     )

@@ -1,26 +1,25 @@
-"""Run statistics and results shared by all runtime backends."""
+"""Run statistics and results shared by all runtime backends.
+
+:class:`RunResult` is the *live* outcome of one execution: it still holds
+the program's mutated :class:`~repro.core.environment.Environment` so the
+caller can verify functional output.  All accounting rides in two typed
+containers from :mod:`repro.obs` — the :class:`~repro.obs.Counters`
+registry every component publishes into and the span list an attached
+probe collected.  :meth:`RunResult.to_record` converts to the picklable,
+env-free :class:`~repro.obs.RunRecord` that crosses process and cache
+boundaries.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Optional
 
 from repro.core.environment import Environment
+from repro.obs import Counters, KernelStats, RunRecord, Span
 from repro.sim.cache import CacheStats
-from repro.sim.cpu import CoreStats
 
 __all__ = ["KernelStats", "RunResult"]
-
-
-@dataclass
-class KernelStats:
-    """Per-kernel execution summary."""
-
-    kernel_id: int
-    dthreads: int = 0
-    fetches: int = 0
-    waits: int = 0
-    core: CoreStats = field(default_factory=CoreStats)
 
 
 @dataclass
@@ -38,9 +37,28 @@ class RunResult:
     region_cycles: int = 0
     kernels: list[KernelStats] = field(default_factory=list)
     memory: Optional[CacheStats] = None
-    tsu_stats: dict[str, Any] = field(default_factory=dict)
+    #: The unified counter registry (``tsu.*``, ``tub.*``, ``mmi.*``, ...)
+    #: published by the TSU Group, the protocol adapter and the runtime.
+    counters: Counters = field(default_factory=Counters)
+    #: Spans collected by the attached probe (empty without a tracer).
+    spans: list[Span] = field(default_factory=list)
     #: Wall-clock seconds for native runs (cycles is 0 there unless set).
     wall_seconds: float = 0.0
+
+    def to_record(self) -> RunRecord:
+        """The env-free, schema-versioned telemetry payload of this run."""
+        return RunRecord(
+            program=self.program,
+            platform=self.platform,
+            nkernels=self.nkernels,
+            cycles=self.cycles,
+            region_cycles=self.region_cycles,
+            wall_seconds=self.wall_seconds,
+            kernels=self.kernels,
+            memory=self.memory,
+            counters=self.counters,
+            spans=self.spans,
+        )
 
     def speedup_over(self, sequential_cycles: int) -> float:
         """Paper-style speedup: sequential time / parallel time, over the

@@ -1,125 +1,33 @@
-"""Execution tracing: per-kernel DThread timelines.
+"""Backwards-compatible aliases for the instrumentation layer.
 
-A :class:`Tracer` attached to a :class:`~repro.runtime.simdriver.
-SimulatedRuntime` records one :class:`Span` per executed DThread (and per
-Inlet/Outlet), yielding the data for utilisation analysis and the ASCII
-Gantt rendering used by the examples — the visibility a real TFlux
-deployment would get from hardware performance counters.
+The tracer grew into the :mod:`repro.obs` probe/span protocol (shared by
+the simulated driver, the native backend, and the sequential baselines);
+this module re-exports the old names so existing imports keep working.
+New code should import from :mod:`repro.obs` directly.
 """
 
-from __future__ import annotations
+from repro.obs.probe import (
+    NULL_PROBE,
+    Probe,
+    Span,
+    Tracer,
+    check_no_overlap,
+    render_gantt,
+    spans_from_jsonl,
+    spans_to_jsonl,
+    to_chrome_trace,
+    write_chrome_trace,
+)
 
-from dataclasses import dataclass, field
-from typing import Optional
-
-__all__ = ["Span", "Tracer", "render_gantt"]
-
-
-@dataclass(frozen=True)
-class Span:
-    """One scheduled unit on one kernel."""
-
-    kernel: int
-    name: str
-    kind: str  # "thread" | "inlet" | "outlet"
-    start: int
-    end: int
-
-    @property
-    def duration(self) -> int:
-        return self.end - self.start
-
-
-@dataclass
-class Tracer:
-    """Collects spans during a simulated run."""
-
-    spans: list[Span] = field(default_factory=list)
-
-    def record(self, kernel: int, name: str, kind: str, start: float, end: float) -> None:
-        self.spans.append(Span(kernel, name, kind, int(start), int(end)))
-
-    # -- queries ------------------------------------------------------------
-    def spans_of(self, kernel: int) -> list[Span]:
-        return [s for s in self.spans if s.kernel == kernel]
-
-    def busy_cycles(self, kernel: int) -> int:
-        return sum(s.duration for s in self.spans_of(kernel))
-
-    def makespan(self) -> int:
-        if not self.spans:
-            return 0
-        return max(s.end for s in self.spans) - min(s.start for s in self.spans)
-
-    def critical_kernel(self) -> Optional[int]:
-        kernels = {s.kernel for s in self.spans}
-        if not kernels:
-            return None
-        return max(kernels, key=self.busy_cycles)
-
-    def check_no_overlap(self) -> None:
-        """A kernel executes one DThread at a time — spans must not
-        overlap within a kernel (a key runtime invariant)."""
-        for kernel in {s.kernel for s in self.spans}:
-            spans = sorted(self.spans_of(kernel), key=lambda s: s.start)
-            for a, b in zip(spans, spans[1:]):
-                assert a.end <= b.start, (
-                    f"kernel {kernel}: {a.name} [{a.start},{a.end}) overlaps "
-                    f"{b.name} [{b.start},{b.end})"
-                )
-
-
-def to_chrome_trace(tracer: Tracer) -> dict:
-    """Export spans in the Chrome ``chrome://tracing`` / Perfetto JSON
-    format: one track per kernel, complete ('X') events, microsecond
-    timestamps mapped 1:1 from simulated cycles."""
-    events = [
-        {
-            "name": s.name,
-            "cat": s.kind,
-            "ph": "X",
-            "ts": s.start,
-            "dur": s.duration,
-            "pid": 0,
-            "tid": s.kernel,
-        }
-        for s in sorted(tracer.spans, key=lambda s: (s.kernel, s.start))
-    ]
-    events.extend(
-        {
-            "name": "thread_name",
-            "ph": "M",
-            "pid": 0,
-            "tid": k,
-            "args": {"name": f"kernel{k}"},
-        }
-        for k in sorted({s.kernel for s in tracer.spans})
-    )
-    return {"traceEvents": events, "displayTimeUnit": "ns"}
-
-
-def render_gantt(tracer: Tracer, width: int = 72) -> str:
-    """ASCII Gantt chart: one row per kernel, time left to right.
-
-    Thread spans print as ``#``, inlets as ``I``, outlets as ``O``; idle
-    gaps as ``.``.
-    """
-    if not tracer.spans:
-        return "(no spans recorded)"
-    t0 = min(s.start for s in tracer.spans)
-    t1 = max(s.end for s in tracer.spans)
-    span_range = max(t1 - t0, 1)
-    scale = width / span_range
-    kernels = sorted({s.kernel for s in tracer.spans})
-    lines = [f"time: {t0:,} .. {t1:,} cycles ({span_range:,} total)"]
-    glyph = {"thread": "#", "inlet": "I", "outlet": "O"}
-    for k in kernels:
-        row = ["."] * width
-        for s in tracer.spans_of(k):
-            lo = int((s.start - t0) * scale)
-            hi = max(int((s.end - t0) * scale), lo + 1)
-            for x in range(lo, min(hi, width)):
-                row[x] = glyph.get(s.kind, "#")
-        busy = tracer.busy_cycles(k) / span_range
-        lines.append(f"k{k:<3}|{''.join(row)}| {busy:5.1%}")
-    return "\n".join(lines)
+__all__ = [
+    "NULL_PROBE",
+    "Probe",
+    "Span",
+    "Tracer",
+    "check_no_overlap",
+    "render_gantt",
+    "spans_from_jsonl",
+    "spans_to_jsonl",
+    "to_chrome_trace",
+    "write_chrome_trace",
+]

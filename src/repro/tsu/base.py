@@ -65,6 +65,16 @@ class ProtocolAdapter:
         self.tsu.complete_outlet(kernel)
         self.wake_kernels()
 
+    # -- counters ----------------------------------------------------------------
+    def publish_counters(self, counters) -> None:
+        """Dump this adapter's counters into the shared registry.
+
+        Called once at end of run by the driver.  Adapters keep plain
+        integer attributes on the hot path and publish them here under a
+        dotted namespace (``mmi.*``, ``emulator.*``, ``dma.*``, ...); the
+        base adapter has nothing to report.
+        """
+
     # -- optional memory-pricing hook ------------------------------------------
     def thread_memory_cycles(
         self, kernel: int, instance: DThreadInstance, summary: AccessSummary

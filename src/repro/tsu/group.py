@@ -98,12 +98,22 @@ class TSUGroup:
         self._block_idx = 0
         self._phase = _Phase.INLET_PENDING
         self._completed_in_block = 0
-        # Statistics.
+        # Statistics: plain ints on the hot path, published into the
+        # repro.obs counter registry at end of run (publish_counters).
         self.fetches = 0
         self.waits = 0
         self.post_updates = 0
         self.threads_dispatched = 0
         self.steals = 0
+
+    def publish_counters(self, counters) -> None:
+        """Publish scheduling counters under the ``tsu.`` namespace."""
+        scope = counters.scope("tsu")
+        scope.inc("fetches", self.fetches)
+        scope.inc("waits", self.waits)
+        scope.inc("post_updates", self.post_updates)
+        scope.inc("dispatched", self.threads_dispatched)
+        scope.inc("steals", self.steals)
 
     # -- helpers -----------------------------------------------------------
     @property

@@ -57,6 +57,11 @@ class HardwareTSUAdapter(ProtocolAdapter):
             l1_access_cycles=l1_access_cycles,
         )
 
+    def publish_counters(self, counters) -> None:
+        scope = counters.scope("mmi")
+        scope.inc("commands", self.mmi.commands)
+        scope.inc("queries", self.mmi.queries)
+
     def fetch(self, kernel: int) -> Generator:
         result = yield from self.mmi.query(lambda: self.tsu.fetch(kernel))
         return result

@@ -74,9 +74,11 @@ class MultiGroupHardwareAdapter(ProtocolAdapter):
         ]
         self.intergroup_transfers = 0
 
-    def extra_stats(self) -> dict:
-        """Adapter counters surfaced in ``RunResult.tsu_stats``."""
-        return {"intergroup_transfers": self.intergroup_transfers}
+    def publish_counters(self, counters) -> None:
+        counters.inc("tsu.intergroup_transfers", self.intergroup_transfers)
+        mmi = counters.scope("mmi")
+        mmi.inc("commands", sum(m.commands for m in self.mmis))
+        mmi.inc("queries", sum(m.queries for m in self.mmis))
 
     # -- partitioning -----------------------------------------------------------
     def group_of_kernel(self, kernel: int) -> int:

@@ -75,11 +75,18 @@ class SoftwareTSUAdapter(ProtocolAdapter):
         self._emulator_wake: Optional[Event] = None
         self._emulator_started = False
         self._shutdown = False
-        # Statistics.
+        # Statistics (plain ints on the hot path; see publish_counters).
         self.emulator_busy_cycles = 0
         self.emulator_items = 0
         self.emulator_updates = 0
         self.tub_pushes = 0
+
+    def publish_counters(self, counters) -> None:
+        emu = counters.scope("emulator")
+        emu.inc("busy_cycles", self.emulator_busy_cycles)
+        emu.inc("items", self.emulator_items)
+        emu.inc("updates", self.emulator_updates)
+        counters.inc("tub.pushes", self.tub_pushes)
 
     # -- emulator lifecycle ------------------------------------------------------
     def start(self) -> None:

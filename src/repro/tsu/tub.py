@@ -58,6 +58,12 @@ class ThreadUpdateBuffer:
         self.push_retries = 0
         self.drains = 0
 
+    def publish_counters(self, counters) -> None:
+        scope = counters.scope("tub")
+        scope.inc("pushes", self.pushes)
+        scope.inc("retries", self.push_retries)
+        scope.inc("drains", self.drains)
+
     # -- producer side (Kernels) ------------------------------------------------
     def try_push(
         self, item, preferred_segment: int = 0

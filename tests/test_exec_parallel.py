@@ -113,7 +113,7 @@ def test_cache_round_trip_is_bit_identical(tmp_path):
     assert cache.hits == 1
     assert warm.cycles == cold.cycles
     assert warm.region_cycles == cold.region_cycles
-    assert warm.result.tsu_stats == cold.result.tsu_stats
+    assert warm.result.counters == cold.result.counters
 
 
 def test_cached_results_never_carry_program_state(tmp_path):
@@ -121,7 +121,21 @@ def test_cached_results_never_carry_program_state(tmp_path):
     spec = _spec(verify=True)
     run_jobs([spec], jobs=1, cache=cache)
     warm = run_jobs([spec], jobs=1, cache=cache)[0]
-    assert warm.result.env is None  # timing artefacts only
+    # Records are env-free by construction: only timing artefacts cross
+    # the cache boundary, never program state.
+    assert not hasattr(warm.result, "env")
+
+
+def test_stale_schema_version_is_a_cache_miss(tmp_path):
+    cache = ResultCache(tmp_path)
+    spec = _spec()
+    digest = spec_digest(spec)
+    outcome = run_jobs([spec], jobs=1, cache=cache)[0]
+    stale = dataclasses.replace(
+        outcome, result=dataclasses.replace(outcome.result, schema_version=0)
+    )
+    cache.put(digest, stale)
+    assert cache.get(digest) is None  # refuses to deserialise silently
 
 
 def test_cache_env_knob(tmp_path, monkeypatch):
@@ -150,6 +164,7 @@ def test_spec_parameters_all_reach_the_digest():
         dict(tsu_capacity=64),
         dict(allow_stealing=True),
         dict(exact_memory=True),
+        dict(collect_spans=True),
         dict(mode="evaluate"),
         dict(size=problem_sizes("trapez", "S")["large"]),
     ):

@@ -50,7 +50,21 @@ def test_native_round_robin_placement():
 
 def test_native_tub_statistics():
     res = NativeRuntime(parallel_sum_program(16), nkernels=4).run()
-    assert res.tsu_stats["tub_pushes"] == 17  # 16 workers + reduce
+    assert res.counters["tub.pushes"] == 17  # 16 workers + reduce
+    assert res.counters["emulator.items"] == 17  # every push is drained
+    assert res.counters["tsu.dispatched"] == 17
+
+
+def test_native_per_kernel_utilisation_is_real():
+    """The native backend accounts real wall time per kernel: the core
+    stats must be populated (µs) and the busy share non-zero."""
+    res = NativeRuntime(parallel_sum_program(32), nkernels=2).run()
+    assert sum(k.dthreads for k in res.kernels) == 33
+    busy = sum(k.core.busy_cycles for k in res.kernels)
+    assert busy > 0
+    for k in res.kernels:
+        assert k.core.dthreads_executed == k.dthreads
+    assert 0.0 < res.utilisation() <= 1.0
 
 
 def test_native_dependency_ordering():

@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Guard the RunRecord schema version against silent field drift.
+
+The exec cache persists pickled :class:`repro.obs.RunRecord` objects and
+refuses entries whose ``schema_version`` differs from the code's — but
+that guard only works if the version is actually bumped when the field
+set changes.  This tool pins the complete field set (RunRecord plus every
+embedded dataclass) in a golden JSON fixture and fails when the two drift
+apart without a version bump:
+
+    python tools/check_record_schema.py            # verify (CI / tests)
+    python tools/check_record_schema.py --update   # regenerate the fixture
+
+``tests/test_record_schema.py`` runs the verification as part of the
+suite, so the bump and the fixture regeneration must land in the same
+commit as any field change.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+FIXTURE = REPO_ROOT / "tests" / "data" / "run_record_schema.json"
+
+
+def _ensure_importable() -> None:
+    try:
+        import repro  # noqa: F401
+    except ImportError:
+        sys.path.insert(0, str(REPO_ROOT / "src"))
+
+
+def load_fixture(path: Path = FIXTURE) -> dict:
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def write_fixture(path: Path = FIXTURE) -> None:
+    from repro.obs import SCHEMA_VERSION, record_schema
+
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {"schema_version": SCHEMA_VERSION, "fields": record_schema()}
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--update", action="store_true",
+        help="regenerate the golden fixture from the current schema",
+    )
+    args = parser.parse_args(argv)
+    _ensure_importable()
+
+    if args.update:
+        write_fixture()
+        print(f"fixture regenerated: {FIXTURE.relative_to(REPO_ROOT)}")
+        return 0
+
+    from repro.obs import verify_schema_fixture
+
+    if not FIXTURE.exists():
+        print(
+            f"missing golden fixture {FIXTURE.relative_to(REPO_ROOT)}; "
+            "create it with `python tools/check_record_schema.py --update`",
+            file=sys.stderr,
+        )
+        return 1
+    problems = verify_schema_fixture(load_fixture())
+    for problem in problems:
+        print(f"schema check: {problem}", file=sys.stderr)
+    if not problems:
+        print("RunRecord schema is consistent with the golden fixture")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
