@@ -3,7 +3,11 @@
 
 TFluxSoft's defining property is that it needs nothing but a commodity
 OS: Kernels are ordinary threads, the TSU is a software emulator thread,
-completions flow through a lock-segmented TUB.  This example runs MMULT
+completions flow through a lock-segmented TUB.  Each Kernel thread runs
+the same step machine as the simulated machines
+(:func:`repro.runtime.core.kernel_loop`) — only the backend differs:
+wall-clock time, condition-variable waits (notify-driven, no polling),
+and a TUB push as the completion notification.  This example runs MMULT
 on the :class:`~repro.runtime.native.NativeRuntime` and measures real
 wall-clock scaling.
 

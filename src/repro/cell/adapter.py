@@ -15,7 +15,9 @@ The control flow of paper §4.3:
   therefore *block on the SPE side*: the emulator parks requests that
   cannot be satisfied yet and answers them (mailbox latency included) as
   soon as post-processing makes work available.  The adapter consequently
-  never returns WAIT to the driver.
+  never returns WAIT to the driver: the Kernel step machine's ``wait``
+  step (and the wake discipline of :mod:`repro.runtime.core`) is unused
+  on this platform — blocking lives inside the mailbox, not the loop.
 * DThread data moves by DMA between the SharedVariableBuffer and the
   Local Store; :meth:`CellTSUAdapter.thread_memory_cycles` prices those
   transfers and enforces the 256 KB Local Store capacity — the constraint

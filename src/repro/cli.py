@@ -53,6 +53,13 @@ def main(argv: list[str] | None = None) -> int:
         help=f"persistent result cache directory (overrides {ENV_CACHE_DIR})",
     )
     parser.add_argument(
+        "--check-native",
+        action="store_true",
+        help="after evaluating, re-run the first cell's program on the "
+        "native (OS-thread) runtime and verify its functional output — "
+        "the same Kernel step machine on a different backend",
+    )
+    parser.add_argument(
         "--trace-out",
         default=None,
         metavar="FILE",
@@ -96,6 +103,8 @@ def main(argv: list[str] | None = None) -> int:
         if args.trace_out:
             _write_trace(args.trace_out, platform, args.benchmark, size,
                          evaluations[0])
+        if args.check_native:
+            _check_native(args.benchmark, size, evaluations[0])
     except (ValueError, MemoryError) as exc:
         import sys
 
@@ -117,6 +126,24 @@ def _write_trace(path: str, platform, bench_name: str, size, evaluation) -> None
     print(
         f"trace: {len(tracer.spans)} spans -> {path} "
         "(load in Perfetto or chrome://tracing)"
+    )
+
+
+def _check_native(bench_name: str, size, evaluation) -> None:
+    """Cross-backend functional check: run the first evaluated cell's
+    program (fresh build — programs are single-run) on the OS-thread
+    runtime and verify the benchmark's output."""
+    from repro.apps import get_benchmark
+    from repro.runtime.native import NativeRuntime
+
+    bench = get_benchmark(bench_name)
+    prog = bench.build(size, unroll=evaluation.best_unroll)
+    nkernels = min(evaluation.nkernels, os.cpu_count() or 1)
+    result = NativeRuntime(prog, nkernels=nkernels).run()
+    bench.verify(result.env, size)
+    print(
+        f"native check: {result.total_dthreads} dthreads on "
+        f"{nkernels} kernels in {result.wall_seconds:.3f}s — output verified"
     )
 
 

@@ -35,6 +35,7 @@ from repro.obs.probe import (
 )
 from repro.obs.record import (
     SCHEMA_VERSION,
+    KernelAccount,
     KernelStats,
     RunRecord,
     record_schema,
@@ -55,6 +56,7 @@ __all__ = [
     "to_chrome_trace",
     "write_chrome_trace",
     "SCHEMA_VERSION",
+    "KernelAccount",
     "KernelStats",
     "RunRecord",
     "record_schema",

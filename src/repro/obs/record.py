@@ -30,6 +30,7 @@ from repro.sim.cpu import CoreStats
 
 __all__ = [
     "SCHEMA_VERSION",
+    "KernelAccount",
     "KernelStats",
     "RunRecord",
     "record_schema",
@@ -54,6 +55,76 @@ class KernelStats:
     fetches: int = 0
     waits: int = 0
     core: CoreStats = field(default_factory=CoreStats)
+
+
+class KernelAccount:
+    """The live per-kernel accounting object every backend charges into.
+
+    One instance per kernel per run, shared between the backend (which
+    charges compute/memory/runtime/idle time on its own axis — cycles or
+    microseconds) and the Kernel step machine
+    (:func:`repro.runtime.core.kernel_loop`, which counts fetches, waits
+    and completed DThreads).  It replaces the three structs the backends
+    used to keep in parallel (a mutable ``KernelStats``, the native
+    backend's wall-clock ``_KernelClock``, and the simulated ``Core``
+    accumulator); :meth:`snapshot` freezes it into the
+    :class:`KernelStats` record that rides in the :class:`RunRecord`.
+
+    Charge amounts may be fractional (the native backend charges µs
+    floats); totals are truncated to int only at snapshot time, so
+    many small charges are not individually rounded away.
+    """
+
+    __slots__ = (
+        "kernel_id", "dthreads", "fetches", "waits",
+        "compute", "memory", "runtime", "idle",
+    )
+
+    def __init__(self, kernel_id: int) -> None:
+        self.kernel_id = kernel_id
+        self.dthreads = 0
+        self.fetches = 0
+        self.waits = 0
+        self.compute = 0.0
+        self.memory = 0.0
+        self.runtime = 0.0
+        self.idle = 0.0
+
+    # -- time charging (backend's axis: cycles or µs) -----------------------
+    def charge_compute(self, amount: float) -> None:
+        self.compute += amount
+
+    def charge_memory(self, amount: float) -> None:
+        self.memory += amount
+
+    def charge_runtime(self, amount: float) -> None:
+        self.runtime += amount
+
+    def charge_idle(self, amount: float) -> None:
+        self.idle += amount
+
+    # -- freezing ------------------------------------------------------------
+    def snapshot(self) -> KernelStats:
+        """The immutable per-kernel record of this account."""
+        return KernelStats(
+            kernel_id=self.kernel_id,
+            dthreads=self.dthreads,
+            fetches=self.fetches,
+            waits=self.waits,
+            core=CoreStats(
+                compute_cycles=int(self.compute),
+                memory_cycles=int(self.memory),
+                runtime_cycles=int(self.runtime),
+                idle_cycles=int(self.idle),
+                dthreads_executed=self.dthreads,
+            ),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"KernelAccount(k{self.kernel_id}: dthreads={self.dthreads}, "
+            f"fetches={self.fetches}, waits={self.waits})"
+        )
 
 
 @dataclass

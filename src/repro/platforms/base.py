@@ -2,7 +2,11 @@
 
 A :class:`Platform` knows its machine configuration, how many compute
 kernels it can offer, and how to build the protocol adapter that prices
-TSU operations.  ``execute`` runs a program; ``evaluate`` reproduces the
+TSU operations.  All platforms execute through the same Kernel step
+machine (:mod:`repro.runtime.core`) hosted on the DES by
+:class:`~repro.runtime.simdriver.SimulatedRuntime` — a platform differs
+only in its adapter and machine, never in runtime semantics (the paper's
+portability claim).  ``execute`` runs a program; ``evaluate`` reproduces the
 paper's measurement protocol for one (benchmark, size, kernel count)
 cell: run the sequential baseline and the parallel version — optionally
 taking the best over a set of unroll factors, as §5 prescribes — and

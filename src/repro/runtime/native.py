@@ -7,6 +7,17 @@ completion notifications flow through a real, lock-segmented
 thread** drains the TUB and performs the Post-Processing Phase against
 the per-kernel Synchronization Memories via the Thread-to-Kernel Table.
 
+Each Kernel thread drives the shared step machine
+(:func:`repro.runtime.core.kernel_loop`) with
+:func:`~repro.runtime.core.run_kernel_blocking`: :class:`NativeRuntime`
+is the :class:`~repro.runtime.core.KernelBackend` whose time source is
+``perf_counter`` microseconds and whose wait strategy is a
+``threading.Condition`` — parking only after re-checking
+``TSUGroup.has_work`` under the same mutex every ``notify_all`` holds,
+the wake discipline documented in :mod:`repro.runtime.core`.  There is
+no poll timeout: kernels sleep until a TSU transition (inlet/outlet
+completion, emulator post-processing, error shutdown) notifies them.
+
 It demonstrates the paper's user-level runtime claim — DDM execution on
 an unmodified OS, interleaved with ordinary processes — and computes real
 results.  A CPython caveat applies to *speedup*: the GIL serialises pure
@@ -17,10 +28,10 @@ functional/portability proof.
 
 Telemetry follows the same :mod:`repro.obs` contract as the simulated
 backends, with microseconds of wall time where they use cycles: each
-kernel's :class:`~repro.sim.cpu.CoreStats` splits its lifetime into
+kernel's :class:`~repro.obs.KernelAccount` splits its lifetime into
 compute (DThread bodies), runtime (TSU/TUB protocol under the lock) and
 idle (condition waits), and an attached probe receives one span per
-DThread body on a µs axis starting at 0.
+DThread on a µs axis starting at 0.
 """
 
 from __future__ import annotations
@@ -30,40 +41,23 @@ import time
 from typing import Optional
 
 from repro.core.program import DDMProgram
-from repro.obs import NULL_PROBE, Counters, Probe
-from repro.runtime.stats import KernelStats, RunResult
-from repro.sim.cpu import CoreStats
-from repro.tsu.group import FetchKind, TSUGroup
+from repro.obs import NULL_PROBE, Counters, KernelAccount, Probe
+from repro.runtime.core import Fetch, blocking_step, run_kernel_blocking
+from repro.runtime.stats import RunResult
+from repro.tsu.group import TSUGroup
 from repro.tsu.policy import PlacementPolicy, contiguous_placement
 from repro.tsu.tub import ThreadUpdateBuffer
 
 __all__ = ["NativeRuntime"]
 
-_WAIT_TIMEOUT = 0.02  # seconds; condition re-check period (lost-wakeup guard)
-
-
-class _KernelClock:
-    """Per-kernel wall-time accounting in microseconds."""
-
-    __slots__ = ("compute_us", "runtime_us", "idle_us")
-
-    def __init__(self) -> None:
-        self.compute_us = 0.0
-        self.runtime_us = 0.0
-        self.idle_us = 0.0
-
-    def core_stats(self, dthreads: int) -> CoreStats:
-        return CoreStats(
-            compute_cycles=int(self.compute_us),
-            memory_cycles=0,
-            runtime_cycles=int(self.runtime_us),
-            idle_cycles=int(self.idle_us),
-            dthreads_executed=dthreads,
-        )
-
 
 class NativeRuntime:
-    """Execute a DDM program on host threads with a software TSU."""
+    """Execute a DDM program on host threads with a software TSU.
+
+    Implements the :class:`~repro.runtime.core.KernelBackend` protocol
+    with blocking steps: every TSU transition happens under one mutex
+    (``self._cond``); DThread bodies run outside it.
+    """
 
     def __init__(
         self,
@@ -90,8 +84,7 @@ class NativeRuntime:
         # post-processing application); DThread bodies run outside it.
         self._cond = threading.Condition()
         self._errors: list[BaseException] = []
-        self._stats = [KernelStats(k) for k in range(nkernels)]
-        self._clocks = [_KernelClock() for _ in range(nkernels)]
+        self._accounts = [KernelAccount(k) for k in range(nkernels)]
         self.probe: Probe = tracer if tracer is not None else NULL_PROBE
         self._probe_lock = threading.Lock()
         self._t0 = 0.0
@@ -105,80 +98,81 @@ class NativeRuntime:
         """Microseconds since the run started (span/CoreStats axis)."""
         return (time.perf_counter() - self._t0) * 1e6
 
-    # -- kernel thread ---------------------------------------------------------
-    def _kernel_main(self, k: int) -> None:
-        env = self.program.env
-        stats = self._stats[k]
-        clock = self._clocks[k]
-        tsu = self.tsu
-        try:
-            while True:
-                if self._errors:
-                    return  # another thread failed; shut down cleanly
-                t0 = self._now_us()
-                with self._cond:
-                    fetch = tsu.fetch(k)
-                    stats.fetches += 1
-                    while fetch.kind == FetchKind.WAIT:
-                        if self._errors:
-                            return
-                        stats.waits += 1
-                        t_wait = self._now_us()
-                        clock.runtime_us += t_wait - t0
-                        self._cond.wait(timeout=_WAIT_TIMEOUT)
-                        t0 = self._now_us()
-                        clock.idle_us += t0 - t_wait
-                        fetch = tsu.fetch(k)
-                        stats.fetches += 1
-                clock.runtime_us += self._now_us() - t0
+    # -- KernelBackend: time, charging, spans ---------------------------------
+    @property
+    def stop_requested(self) -> bool:
+        # Cooperative shutdown: once any thread failed, every kernel
+        # leaves its loop at the next iteration.
+        return bool(self._errors)
 
-                if fetch.kind == FetchKind.EXIT:
-                    return
+    def now(self, kernel: int) -> float:
+        return self._now_us()
 
-                if fetch.kind == FetchKind.INLET:
-                    t0 = self._now_us()
-                    with self._cond:
-                        tsu.complete_inlet(k)
-                        self._cond.notify_all()
-                    t1 = self._now_us()
-                    clock.runtime_us += t1 - t0
-                    self._record_span(k, fetch.instance.name, "inlet", t0, t1)
-                    continue
+    def charge_runtime(self, kernel: int, since: float) -> None:
+        self._accounts[kernel].charge_runtime(self._now_us() - since)
 
-                if fetch.kind == FetchKind.OUTLET:
-                    t0 = self._now_us()
-                    with self._cond:
-                        tsu.complete_outlet(k)
-                        self._cond.notify_all()
-                    t1 = self._now_us()
-                    clock.runtime_us += t1 - t0
-                    self._record_span(k, fetch.instance.name, "outlet", t0, t1)
-                    continue
-
-                # Application DThread: body runs without any TSU lock held.
-                inst = fetch.instance
-                assert inst is not None and fetch.local_iid is not None
-                t_body = self._now_us()
-                inst.template.run(env, inst.ctx)
-                t_done = self._now_us()
-                clock.compute_us += t_done - t_body
-                stats.dthreads += 1
-                # Completion notification goes through the TUB.
-                self.tub.push((k, fetch.local_iid), preferred_segment=k)
-                clock.runtime_us += self._now_us() - t_done
-                self._record_span(k, inst.name, "thread", t_body, t_done)
-        except BaseException as exc:  # surface worker failures to run()
-            self._errors.append(exc)
-            with self._cond:
-                self._cond.notify_all()
-
-    def _record_span(
+    def emit_span(
         self, kernel: int, name: str, kind: str, start: float, end: float
     ) -> None:
         # Probe implementations are not required to be thread-safe; the
         # native backend serialises its span stream.
         with self._probe_lock:
             self.probe.record(kernel, name, kind, start, end)
+
+    # -- KernelBackend: protocol steps (blocking, under the TSU mutex) --------
+    @blocking_step
+    def fetch(self, kernel: int) -> Fetch:
+        with self._cond:
+            return self.tsu.fetch(kernel)
+
+    @blocking_step
+    def wait(self, kernel: int) -> None:
+        with self._cond:
+            # Close the lost-wakeup window: a notify may have fired
+            # between the WAIT fetch releasing the mutex and this
+            # re-acquisition.  Every notify_all holds this mutex, so the
+            # re-check and the park are atomic with respect to wakeups.
+            if self._errors or self.tsu.has_work(kernel):
+                return
+            t0 = self._now_us()
+            self._cond.wait()
+            self._accounts[kernel].charge_idle(self._now_us() - t0)
+
+    @blocking_step
+    def run_inlet(self, kernel: int, fetch: Fetch) -> None:
+        with self._cond:
+            self.tsu.complete_inlet(kernel)
+            self._cond.notify_all()
+
+    @blocking_step
+    def run_outlet(self, kernel: int, fetch: Fetch) -> None:
+        with self._cond:
+            self.tsu.complete_outlet(kernel)
+            self._cond.notify_all()
+
+    @blocking_step
+    def run_thread(self, kernel: int, fetch: Fetch) -> None:
+        # The body runs without any TSU lock held.
+        inst = fetch.instance
+        t0 = self._now_us()
+        inst.template.run(self.program.env, inst.ctx)
+        self._accounts[kernel].charge_compute(self._now_us() - t0)
+
+    @blocking_step
+    def notify_completion(self, kernel: int, fetch: Fetch) -> None:
+        # Completion notification goes through the TUB; the emulator
+        # thread performs the Post-Processing Phase and notifies.
+        assert fetch.local_iid is not None
+        self.tub.push((kernel, fetch.local_iid), preferred_segment=kernel)
+
+    # -- kernel thread ---------------------------------------------------------
+    def _kernel_main(self, k: int) -> None:
+        try:
+            run_kernel_blocking(self, k, self._accounts[k])
+        except BaseException as exc:  # surface worker failures to run()
+            self._errors.append(exc)
+            with self._cond:
+                self._cond.notify_all()
 
     # -- TSU emulator thread ----------------------------------------------------------
     def _emulator_main(self) -> None:
@@ -239,9 +233,6 @@ class NativeRuntime:
             section.run(env)
         wall = time.perf_counter() - t_start
 
-        for stats, clock in zip(self._stats, self._clocks):
-            stats.core = clock.core_stats(stats.dthreads)
-
         counters = Counters()
         self.tsu.publish_counters(counters)
         self.tub.publish_counters(counters)
@@ -256,7 +247,7 @@ class NativeRuntime:
             nkernels=self.nkernels,
             cycles=0,
             env=env,
-            kernels=self._stats,
+            kernels=[a.snapshot() for a in self._accounts],
             counters=counters,
             spans=list(self.probe.spans),
             wall_seconds=wall,

@@ -1,32 +1,37 @@
 """The Kernel loop on the simulated machines.
 
-Implements Figure 2 of the paper as DES processes: each Kernel repeatedly
-asks the TSU (through the platform's protocol adapter) for work and either
-runs the block's Inlet, an application DThread (charging its compute
-cycles plus the memory system's verdict on its access summary), the
-Outlet, or waits.  The first Kernel additionally executes the program's
-sequential prologue before the dataflow region opens and the epilogue
-after every Kernel exited.
+Hosts the shared Kernel step machine (:mod:`repro.runtime.core`) on the
+DES: :class:`SimulatedRuntime` is the :class:`~repro.runtime.core.KernelBackend`
+whose time source is the engine clock, whose wait strategy is a DES
+:class:`~repro.sim.engine.Event` guarded against lost wakeups (the
+discipline documented in :mod:`repro.runtime.core`), and whose cost
+charging flows through the platform's protocol adapter and the machine's
+memory system.  Each Kernel is one engine process running
+:func:`~repro.runtime.core.kernel_loop`; the first Kernel's host process
+additionally executes the program's sequential prologue before the
+dataflow region opens and the epilogue after every Kernel exited.
 
 :func:`run_sequential_timed` produces the baseline measurement: the whole
 program on one core of the same machine with no TFlux overheads, exactly
-the paper's §5 baseline definition.
+the paper's §5 baseline definition.  It dispatches through the same step
+machine — its backend feeds the Kernel the program's instances in fire
+order with every protocol step free, so "no TFlux overheads" is a
+backend property, not a separate loop.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Generator, Iterable, Optional
+from typing import Callable, Generator, Iterable, Iterator, Optional
 
-from repro.core.dthread import ThreadKind
 from repro.core.program import DDMProgram
-from repro.obs import NULL_PROBE, Counters, Probe
-from repro.runtime.stats import KernelStats, RunResult
-from repro.sim.cpu import Core
+from repro.obs import NULL_PROBE, Counters, KernelAccount, Probe
+from repro.runtime.core import Fetch, FetchKind, blocking_step, kernel_loop
+from repro.runtime.stats import RunResult
 from repro.sim.memory import MainMemory
 from repro.sim.engine import Engine, Event
 from repro.sim.machine import MachineConfig
 from repro.tsu.base import ProtocolAdapter, ZeroOverheadAdapter
-from repro.tsu.group import FetchKind, TSUGroup
+from repro.tsu.group import TSUGroup
 from repro.tsu.policy import PlacementPolicy, contiguous_placement
 
 __all__ = ["SimulatedRuntime", "run_sequential_timed"]
@@ -36,7 +41,17 @@ AdapterFactory = Callable[[Engine, TSUGroup], ProtocolAdapter]
 
 
 class SimulatedRuntime:
-    """Timed execution of a DDM program on a simulated machine."""
+    """Timed execution of a DDM program on a simulated machine.
+
+    Implements the :class:`~repro.runtime.core.KernelBackend` protocol:
+    every step is a DES process fragment, so protocol costs, queueing
+    and contention come from the adapter and the engine, never from the
+    step machine itself.
+    """
+
+    #: KernelBackend: the DES backend never aborts cooperatively — a
+    #: failing process surfaces through the engine run loop instead.
+    stop_requested = False
 
     def __init__(
         self,
@@ -79,7 +94,9 @@ class SimulatedRuntime:
         )
         for region in program.env.regions:
             self.main_memory.allocate(region.size)
-        self.cores = [Core(i) for i in range(nkernels)]
+        #: One unified per-kernel account (repro.obs) per Kernel: the
+        #: step machine counts into it, this backend charges time into it.
+        self.accounts = [KernelAccount(k) for k in range(nkernels)]
         #: The span sink (repro.obs probe protocol).  Every run emits
         #: spans through it; pass a collecting probe (e.g.
         #: :class:`repro.obs.Tracer`) to keep them.
@@ -97,73 +114,66 @@ class SimulatedRuntime:
             if not ev.triggered:
                 ev.succeed()
 
-    # -- per-kernel process -------------------------------------------------------
-    def _kernel_proc(self, k: int, stats: KernelStats) -> Generator:
-        engine = self.engine
-        core = self.cores[k]
+    # -- KernelBackend: time, charging, spans ---------------------------------
+    def now(self, kernel: int) -> float:
+        return self.engine.now
+
+    def charge_runtime(self, kernel: int, since: float) -> None:
+        self.accounts[kernel].charge_runtime(int(self.engine.now - since))
+
+    def emit_span(
+        self, kernel: int, name: str, kind: str, start: float, end: float
+    ) -> None:
+        self.probe.record(kernel, name, kind, start, end)
+
+    # -- KernelBackend: protocol steps (DES process fragments) ----------------
+    def fetch(self, kernel: int) -> Generator:
+        fetch = yield from self.adapter.fetch(kernel)
+        return fetch
+
+    def wait(self, kernel: int) -> Generator:
+        # Close the lost-wakeup window: the adapter's fetch may have
+        # taken simulated time after reading the TSU state, during which
+        # a wake could have fired unobserved.  The re-check runs on the
+        # engine's cooperative timeline, so nothing can interleave
+        # between it and the event registration below.
+        if self.tsu.has_work(kernel):
+            return
+        ev = self._wait_events.get(kernel)
+        if ev is None:
+            ev = Event(self.engine, name=f"wake:k{kernel}")
+            self._wait_events[kernel] = ev
+        t0 = self.engine.now
+        yield ev
+        self.accounts[kernel].charge_idle(int(self.engine.now - t0))
+
+    def run_inlet(self, kernel: int, fetch: Fetch) -> Generator:
+        yield from self.adapter.complete_inlet(kernel, fetch.block)
+
+    def run_outlet(self, kernel: int, fetch: Fetch) -> Generator:
+        yield from self.adapter.complete_outlet(kernel, fetch.block)
+
+    def run_thread(self, kernel: int, fetch: Fetch) -> Generator:
+        # Run functionally, then charge the cost models' verdict.
+        inst = fetch.instance
         env = self.program.env
-        adapter = self.adapter
+        inst.template.run(env, inst.ctx)
+        compute = inst.template.compute_cost(env, inst.ctx)
+        summary = inst.template.access_summary(env, inst.ctx)
+        memory = self.adapter.thread_memory_cycles(kernel, inst, summary)
+        if memory is None:
+            memory = self.memsys.run_summary(kernel, summary)
+        if compute + memory > 0:
+            yield compute + memory
+        account = self.accounts[kernel]
+        account.charge_compute(compute)
+        account.charge_memory(int(memory))
 
-        while True:
-            t0 = engine.now
-            fetch = yield from adapter.fetch(k)
-            core.charge_runtime(int(engine.now - t0))
-            stats.fetches += 1
-
-            if fetch.kind == FetchKind.EXIT:
-                return
-
-            if fetch.kind == FetchKind.WAIT:
-                stats.waits += 1
-                # Close the lost-wakeup window: the adapter's fetch may
-                # have taken simulated time after reading the TSU state,
-                # during which a wake could have fired unobserved.
-                if self.tsu.has_work(k):
-                    continue
-                ev = self._wait_events.get(k)
-                if ev is None:
-                    ev = Event(engine, name=f"wake:k{k}")
-                    self._wait_events[k] = ev
-                t0 = engine.now
-                yield ev
-                core.charge_idle(int(engine.now - t0))
-                continue
-
-            if fetch.kind == FetchKind.INLET:
-                t0 = engine.now
-                yield from adapter.complete_inlet(k, fetch.block)
-                core.charge_runtime(int(engine.now - t0))
-                self.probe.record(k, fetch.instance.name, "inlet", t0, engine.now)
-                continue
-
-            if fetch.kind == FetchKind.OUTLET:
-                t0 = engine.now
-                yield from adapter.complete_outlet(k, fetch.block)
-                core.charge_runtime(int(engine.now - t0))
-                self.probe.record(k, fetch.instance.name, "outlet", t0, engine.now)
-                continue
-
-            # Application DThread: run functionally, then charge its time.
-            inst = fetch.instance
-            assert inst is not None and fetch.local_iid is not None
-            t_thread = engine.now
-            inst.template.run(env, inst.ctx)
-            compute = inst.template.compute_cost(env, inst.ctx)
-            summary = inst.template.access_summary(env, inst.ctx)
-            memory = adapter.thread_memory_cycles(k, inst, summary)
-            if memory is None:
-                memory = self.memsys.run_summary(k, summary)
-            if compute + memory > 0:
-                yield compute + memory
-            core.charge_compute(compute)
-            core.charge_memory(int(memory))
-
-            t0 = engine.now
-            yield from adapter.complete_thread(k, fetch.local_iid, inst)
-            core.charge_runtime(int(engine.now - t0))
-            core.finished_dthread()
-            stats.dthreads += 1
-            self.probe.record(k, inst.name, "thread", t_thread, engine.now)
+    def notify_completion(self, kernel: int, fetch: Fetch) -> Generator:
+        assert fetch.local_iid is not None
+        yield from self.adapter.complete_thread(
+            kernel, fetch.local_iid, fetch.instance
+        )
 
     # -- sequential sections --------------------------------------------------------
     def _section_cycles(self, section) -> tuple[int, int]:
@@ -175,22 +185,27 @@ class SimulatedRuntime:
             memory = int(self.memsys.run_summary(0, summary))
         return compute, memory
 
-    def _main_proc(self, stats_list: list[KernelStats]) -> Generator:
+    def _run_sections(self, sections) -> Generator:
         env = self.program.env
-        for section in self.program.prologue:
+        for section in sections:
             section.run(env)
             compute, memory = self._section_cycles(section)
             if compute + memory:
                 yield compute + memory
-            self.cores[0].charge_compute(compute)
-            self.cores[0].charge_memory(memory)
+            self.accounts[0].charge_compute(compute)
+            self.accounts[0].charge_memory(memory)
+
+    def _main_proc(self) -> Generator:
+        yield from self._run_sections(self.program.prologue)
 
         self._region_start = self.engine.now
         start = getattr(self.adapter, "start", None)
         if start is not None:
             start()
         kernel_procs = [
-            self.engine.process(self._kernel_proc(k, stats_list[k]), name=f"kernel{k}")
+            self.engine.process(
+                kernel_loop(self, k, self.accounts[k]), name=f"kernel{k}"
+            )
             for k in range(self.nkernels)
         ]
         yield self.engine.all_of([p.done for p in kernel_procs])
@@ -200,28 +215,19 @@ class SimulatedRuntime:
         if shutdown is not None:
             shutdown()
 
-        for section in self.program.epilogue:
-            section.run(env)
-            compute, memory = self._section_cycles(section)
-            if compute + memory:
-                yield compute + memory
-            self.cores[0].charge_compute(compute)
-            self.cores[0].charge_memory(memory)
+        yield from self._run_sections(self.program.epilogue)
 
     # -- entry point -------------------------------------------------------------------
     def run(self) -> RunResult:
         if self._ran:
             raise RuntimeError("SimulatedRuntime objects are single-use")
         self._ran = True
-        stats_list = [KernelStats(k) for k in range(self.nkernels)]
         self._region_start = 0.0
         self._region_end = 0.0
-        main = self.engine.process(self._main_proc(stats_list), name="main")
+        main = self.engine.process(self._main_proc(), name="main")
         self.engine.run()
         if main.is_alive:
             raise RuntimeError("simulation stalled (deadlocked kernels?)")
-        for k, ks in enumerate(stats_list):
-            ks.core = self.cores[k].stats
         # One registry for all accounting: the TSU Group's scheduling
         # counters plus whatever the platform adapter published (traffic,
         # emulator occupancy, DMA volume) — the single path every counter
@@ -236,11 +242,88 @@ class SimulatedRuntime:
             cycles=int(self.engine.now),
             region_cycles=int(self._region_end - self._region_start),
             env=self.program.env,
-            kernels=stats_list,
+            kernels=[a.snapshot() for a in self.accounts],
             memory=self.memsys.total_stats(),
             counters=counters,
             spans=list(self.probe.spans),
         )
+
+
+class _SequentialBackend:
+    """Backend for the §5 baseline: fire order in, zero overheads out.
+
+    The step machine still does the dispatching, but the "TSU" is the
+    program's topological fire order, every protocol step is free, and
+    the clock is a manual cycle accumulator advanced only by DThread
+    compute/memory costs — the definition of "the original sequential
+    one, i.e. without any TFlux overheads".
+    """
+
+    stop_requested = False
+
+    def __init__(self, program: DDMProgram, memsys, probe: Probe) -> None:
+        self.program = program
+        self.memsys = memsys
+        self.probe = probe
+        self.cycles = 0
+        self.account = KernelAccount(0)
+        self._fire_order: Iterator = iter(program.fire_order())
+
+    # -- KernelBackend ---------------------------------------------------------
+    def now(self, kernel: int) -> float:
+        return self.cycles
+
+    def charge_runtime(self, kernel: int, since: float) -> None:
+        pass  # protocol steps are free: the clock never moved
+
+    def emit_span(
+        self, kernel: int, name: str, kind: str, start: float, end: float
+    ) -> None:
+        self.probe.record(kernel, name, kind, start, end)
+
+    @blocking_step
+    def fetch(self, kernel: int) -> Fetch:
+        inst = next(self._fire_order, None)
+        if inst is None:
+            return Fetch(FetchKind.EXIT)
+        return Fetch(FetchKind.THREAD, instance=inst)
+
+    @blocking_step
+    def wait(self, kernel: int) -> None:  # pragma: no cover - unreachable
+        raise AssertionError("the sequential baseline never waits")
+
+    run_inlet = run_outlet = wait  # fire order has no Inlet/Outlet fetches
+
+    @blocking_step
+    def run_thread(self, kernel: int, fetch: Fetch) -> None:
+        inst = fetch.instance
+        env = self.program.env
+        inst.template.run(env, inst.ctx)
+        compute = int(inst.template.compute_cost(env, inst.ctx))
+        memory = int(
+            self.memsys.run_summary(0, inst.template.access_summary(env, inst.ctx))
+        )
+        self.cycles += compute + memory
+        self.account.charge_compute(compute)
+        self.account.charge_memory(memory)
+
+    @blocking_step
+    def notify_completion(self, kernel: int, fetch: Fetch) -> None:
+        pass  # no TSU: dependencies are satisfied by the fire order
+
+    # -- sequential sections ---------------------------------------------------
+    def run_section(self, section) -> None:
+        env = self.program.env
+        section.run(env)
+        t0 = self.cycles
+        compute = int(section.compute_cost(env))
+        memory = 0
+        if section.accesses is not None:
+            memory = int(self.memsys.run_summary(0, section.accesses(env)))
+        self.cycles += compute + memory
+        self.account.charge_compute(compute)
+        self.account.charge_memory(memory)
+        self.probe.record(0, section.name, "section", t0, self.cycles)
 
 
 def run_sequential_timed(
@@ -252,59 +335,36 @@ def run_sequential_timed(
     """The paper's baseline: the original sequential program on one core.
 
     Executes prologue, every DThread instance in topological order, and
-    the epilogue on core 0 with no TSU interaction and no runtime cost.
-    Spans are emitted through the shared :mod:`repro.obs` probe interface
-    (all on kernel 0): pass a collecting probe to keep the timeline.
+    the epilogue on core 0 with no TSU interaction and no runtime cost —
+    dispatched through the shared Kernel step machine with the
+    zero-overhead :class:`_SequentialBackend`.  Spans are emitted through
+    the shared :mod:`repro.obs` probe interface (all on kernel 0): pass a
+    collecting probe to keep the timeline.
     """
+    from repro.runtime.core import run_kernel_blocking
+
     probe: Probe = tracer if tracer is not None else NULL_PROBE
     memsys = machine.memory_system(program.env.regions, exact=exact_memory)
-    env = program.env
-    cycles = 0
-    core = Core(0)
-
-    def section_cost(section) -> int:
-        c = int(section.compute_cost(env))
-        m = 0
-        if section.accesses is not None:
-            m = int(memsys.run_summary(0, section.accesses(env)))
-        core.charge_compute(c)
-        core.charge_memory(m)
-        return c + m
+    backend = _SequentialBackend(program, memsys, probe)
 
     for section in program.prologue:
-        section.run(env)
-        t0 = cycles
-        cycles += section_cost(section)
-        probe.record(0, section.name, "section", t0, cycles)
+        backend.run_section(section)
 
-    region_start = cycles
-    for inst in program.fire_order():
-        inst.template.run(env, inst.ctx)
-        t0 = cycles
-        compute = int(inst.template.compute_cost(env, inst.ctx))
-        memory = int(memsys.run_summary(0, inst.template.access_summary(env, inst.ctx)))
-        cycles += compute + memory
-        core.charge_compute(compute)
-        core.charge_memory(memory)
-        core.finished_dthread()
-        probe.record(0, inst.name, "thread", t0, cycles)
-    region_cycles = cycles - region_start
+    region_start = backend.cycles
+    run_kernel_blocking(backend, 0, backend.account)
+    region_cycles = backend.cycles - region_start
 
     for section in program.epilogue:
-        section.run(env)
-        t0 = cycles
-        cycles += section_cost(section)
-        probe.record(0, section.name, "section", t0, cycles)
+        backend.run_section(section)
 
-    stats = KernelStats(0, dthreads=core.stats.dthreads_executed, core=core.stats)
     return RunResult(
         program=program.name,
         platform=f"{machine.name}-sequential",
         nkernels=1,
-        cycles=int(cycles),
+        cycles=int(backend.cycles),
         region_cycles=int(region_cycles),
-        env=env,
-        kernels=[stats],
+        env=program.env,
+        kernels=[backend.account.snapshot()],
         memory=memsys.total_stats(),
         spans=list(probe.spans),
     )

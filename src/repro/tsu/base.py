@@ -8,6 +8,15 @@ shared resources they flow.  The simulated runtime driver
 the TUB segments, at the Cell mailboxes — is modelled by the event engine,
 not by constants.
 
+This interface is the sim backend's half of the Kernel step-machine
+contract: the driver's :class:`~repro.runtime.core.KernelBackend` steps
+map one-to-one onto adapter generators (``fetch`` → :meth:`fetch`,
+``run_inlet``/``run_outlet`` → :meth:`complete_inlet`/:meth:`complete_outlet`,
+``notify_completion`` → :meth:`complete_thread`).  Adapters therefore
+carry the wake side of the discipline documented in
+:mod:`repro.runtime.core`: any transition that can ready work must call
+:attr:`ProtocolAdapter.wake_kernels` at the simulated time it applies.
+
 :class:`ZeroOverheadAdapter` makes every operation free; it is used for
 the sequential-baseline runs ("the baseline program is the original
 sequential one, i.e. without any TFlux overheads", §5) and in tests that

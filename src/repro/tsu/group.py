@@ -189,9 +189,10 @@ class TSUGroup:
 
     def has_work(self, kernel: int) -> bool:
         """Cheap peek: would a fetch by *kernel* return something other
-        than WAIT right now?  Drivers use this to close the lost-wakeup
-        window between a (possibly delayed) fetch reply and going to
-        sleep."""
+        than WAIT right now?  Backends call this from their ``wait`` step
+        to close the lost-wakeup window between a (possibly delayed) WAIT
+        reply and parking — step 2 of the wake discipline documented in
+        :mod:`repro.runtime.core`."""
         if self._phase in (_Phase.INLET_PENDING, _Phase.OUTLET_PENDING, _Phase.EXITED):
             return True
         if self._phase == _Phase.RUNNING:

@@ -1,0 +1,162 @@
+"""Cross-backend differential suite: one Kernel core, three backends.
+
+The same programs run through the simulated runtime, the native
+(OS-thread) runtime, and the sequential baseline — all three dispatch
+through :func:`repro.runtime.core.kernel_loop`.  These tests pin the
+properties that make them *one* runtime:
+
+* byte-identical functional output (the functional/timing split means
+  the backend can never change what a program computes);
+* identical span event names per scheduled unit;
+* the same counter namespace from ``publish_counters`` and the same
+  fetch/wait accounting rule (one fetch per TSU round trip, one wait
+  per WAIT reply — the rule stated in ``kernel_loop``'s docstring).
+"""
+
+from collections import Counter as Multiset
+
+import numpy as np
+import pytest
+
+from repro.apps import get_benchmark, problem_sizes
+from repro.core import ProgramBuilder
+from repro.obs import Tracer
+from repro.runtime.native import NativeRuntime
+from repro.runtime.simdriver import SimulatedRuntime, run_sequential_timed
+from repro.sim.machine import BAGLE_27
+
+NKERNELS = 4
+
+
+# -- program builders (fresh per run: programs are single-use) -----------------
+def build_trapez():
+    bench = get_benchmark("trapez")
+    size = problem_sizes("trapez", "N")["small"]
+    return bench.build(size, unroll=8, max_threads=64), None
+
+
+def build_blocked(tsu_capacity=6):
+    """A three-stage pipeline wide enough to split into several blocks."""
+    n = 12
+    b = ProgramBuilder("blocked")
+    b.env.alloc("a", n)
+    b.env.alloc("b", n)
+    b.env.alloc("c", n)
+
+    t1 = b.thread(
+        "s1", body=lambda env, i: env.array("a").__setitem__(i, i + 1), contexts=n
+    )
+    t2 = b.thread(
+        "s2",
+        body=lambda env, i: env.array("b").__setitem__(i, env.array("a")[i] * 2),
+        contexts=n,
+    )
+    t3 = b.thread(
+        "s3",
+        body=lambda env, i: env.array("c").__setitem__(i, env.array("b")[i] + 1),
+        contexts=n,
+    )
+    red = b.thread(
+        "reduce", body=lambda env, _: env.set("total", float(env.array("c").sum()))
+    )
+    b.depends(t1, t2)
+    b.depends(t2, t3)
+    b.depends(t3, red, "all")
+    return b.build(), tsu_capacity
+
+
+PROGRAMS = {"trapez": build_trapez, "blocked": build_blocked}
+
+
+# -- the three backends --------------------------------------------------------
+def run_sim(builder):
+    prog, cap = builder()
+    return SimulatedRuntime(
+        prog, BAGLE_27, nkernels=NKERNELS, tsu_capacity=cap, tracer=Tracer()
+    ).run()
+
+
+def run_native(builder):
+    prog, cap = builder()
+    return NativeRuntime(
+        prog, nkernels=NKERNELS, tsu_capacity=cap, tracer=Tracer()
+    ).run()
+
+
+def run_sequential(builder):
+    prog, _ = builder()
+    return run_sequential_timed(prog, BAGLE_27, tracer=Tracer())
+
+
+BACKENDS = {"sim": run_sim, "native": run_native, "sequential": run_sequential}
+
+
+def env_fingerprint(env):
+    """Every array (as raw bytes) and scalar the program produced."""
+    fp = {}
+    for name in env.names():
+        value = env[name]
+        fp[name] = value.tobytes() if isinstance(value, np.ndarray) else value
+    return fp
+
+
+def span_names(result, kind):
+    return Multiset(s.name for s in result.spans if s.kind == kind)
+
+
+@pytest.fixture(scope="module", params=sorted(PROGRAMS))
+def runs(request):
+    builder = PROGRAMS[request.param]
+    return {name: run for name, run in
+            ((name, fn(builder)) for name, fn in BACKENDS.items())}
+
+
+# -- functional equivalence ----------------------------------------------------
+def test_functional_output_byte_identical(runs):
+    fps = {name: env_fingerprint(r.env) for name, r in runs.items()}
+    assert fps["sim"] == fps["native"] == fps["sequential"]
+
+
+def test_same_dthreads_executed(runs):
+    totals = {name: r.total_dthreads for name, r in runs.items()}
+    assert totals["sim"] == totals["native"] == totals["sequential"]
+
+
+# -- span equivalence ----------------------------------------------------------
+def test_thread_span_names_identical(runs):
+    names = {name: span_names(r, "thread") for name, r in runs.items()}
+    assert names["sim"] == names["native"] == names["sequential"]
+
+
+def test_inlet_outlet_span_names_identical_sim_native(runs):
+    # The sequential baseline has no blocks to load/clear; sim and native
+    # must agree on every Inlet/Outlet they scheduled.
+    for kind in ("inlet", "outlet"):
+        assert span_names(runs["sim"], kind) == span_names(runs["native"], kind)
+
+
+# -- counter / accounting equivalence ------------------------------------------
+def test_tsu_counter_namespace_identical(runs):
+    def tsu_keys(result):
+        return {k for k in result.counters.as_dict() if k.startswith("tsu.")}
+
+    assert tsu_keys(runs["sim"]) == tsu_keys(runs["native"])
+
+
+@pytest.mark.parametrize("backend", ["sim", "native"])
+def test_fetch_and_wait_accounting_matches_tsu(runs, backend):
+    """The satellite fix pinned: per-kernel fetch/wait counts follow one
+    rule on every backend — they must sum to the TSU's own counters (the
+    native runtime used to double-count fetches inside its WAIT loop)."""
+    r = runs[backend]
+    assert sum(k.fetches for k in r.kernels) == r.counters["tsu.fetches"]
+    assert sum(k.waits for k in r.kernels) == r.counters["tsu.waits"]
+
+
+def test_sequential_baseline_accounting(runs):
+    """One kernel, one fetch per instance plus the EXIT reply, no waits."""
+    r = runs["sequential"]
+    (k,) = r.kernels
+    assert k.dthreads == r.total_dthreads
+    assert k.fetches == k.dthreads + 1
+    assert k.waits == 0

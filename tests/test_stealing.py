@@ -121,7 +121,7 @@ def test_has_work_sees_stealable_threads():
 def test_chrome_trace_export():
     import json
 
-    from repro.runtime.trace import Tracer, to_chrome_trace
+    from repro.obs import Tracer, to_chrome_trace
 
     tracer = Tracer()
     prog = skewed_program(nchunks=8)

@@ -4,7 +4,7 @@ import pytest
 
 from repro.core import ProgramBuilder
 from repro.runtime.simdriver import SimulatedRuntime
-from repro.runtime.trace import Span, Tracer, render_gantt
+from repro.obs import Span, Tracer, render_gantt
 from repro.sim.machine import BAGLE_27
 from repro.tsu.hardware import HardwareTSUAdapter
 
