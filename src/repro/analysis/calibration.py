@@ -48,6 +48,12 @@ class PaperReference:
             "qsort": 3.4,
         }
     )
+    #: Figure 6's 2-kernel bars sit between ~1.6 and ~2.0.  Measured
+    #: values are compared against this band with slack above 2.0:
+    #: against the canonical unroll=1 sequential baseline (the paper's
+    #: serial program, which re-streams MMULT's full B matrix per row),
+    #: two kernels aggregate two L1s and can land mildly superlinear —
+    #: a real cache-aggregation effect, not a modelling artefact.
     fig6_two_kernel_band: tuple[float, float] = (1.6, 2.0)
 
     #: Figure 7 — TFluxCell, 6 SPEs, printed values (no FFT on Cell).

@@ -134,6 +134,8 @@ class CellTSUAdapter(ProtocolAdapter):
 
     def _retry_parked(self) -> None:
         """Answer parked next-thread requests that can now be satisfied."""
+        if not self._parked_fetch:
+            return
         for k in sorted(self._parked_fetch):
             if not self.tsu.has_work(k):
                 continue
@@ -144,6 +146,12 @@ class CellTSUAdapter(ProtocolAdapter):
             self.mailboxes[k].send(f)
 
     def _ppe_proc(self) -> Generator:
+        # Deliberately outside the TFLUX_FASTPATH coalescing: each poll
+        # must be its own timeout because a command written *mid-sweep*
+        # is observed (or missed) depending on whether its buffer's
+        # drain() has already run this sweep — collapsing the empty
+        # polls into one accumulated timeout would drain every buffer at
+        # the sweep's end and catch commands the eager schedule misses.
         costs = self.costs
         n = self.tsu.nkernels
         while True:

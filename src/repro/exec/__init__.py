@@ -25,6 +25,7 @@ from repro.exec.pool import (
     EvalRequest,
     JobOutcome,
     JobSpec,
+    clear_baseline_memo,
     evaluate_many,
     job_count,
     run_job,
@@ -42,6 +43,7 @@ __all__ = [
     "EvalRequest",
     "JobOutcome",
     "JobSpec",
+    "clear_baseline_memo",
     "evaluate_many",
     "job_count",
     "run_job",

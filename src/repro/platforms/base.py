@@ -138,13 +138,15 @@ class Platform:
         verify: bool = True,
         max_threads: int = 4096,
     ) -> Evaluation:
-        """Speedup for one cell, taking the best over *unrolls* for both
-        the parallel and the sequential version (paper §5).
+        """Speedup for one cell, taking the best over *unrolls* for the
+        parallel version (paper §5).
 
         The measured quantity is the parallelised region (gettimeofday
-        around the parallel section); the baseline is the original
-        sequential program on the same machine.  Both sides take the
-        best over the unroll grid.  The unroll search runs through
+        around the parallel section); the baseline is the *original*
+        sequential program (unroll=1) on the same machine, simulated at
+        most once per (platform configuration, bench, size) cell and
+        memoised across calls — see
+        :mod:`repro.exec.pool`.  The unroll search runs through
         :mod:`repro.exec` — set ``TFLUX_JOBS`` to parallelise it and
         ``TFLUX_CACHE_DIR`` to memoise results on disk.
         """

@@ -235,6 +235,13 @@ class SimulatedRuntime:
         counters = Counters()
         self.tsu.publish_counters(counters)
         self.adapter.publish_counters(counters)
+        # DES engine telemetry: heap churn of this run.  These are the
+        # only counters allowed to differ between TFLUX_FASTPATH on/off
+        # (the differential suite compares everything else exactly);
+        # events/instance is the fast path's figure of merit.
+        engine = counters.scope("engine")
+        engine.inc("events", self.engine.events_executed)
+        engine.inc("scheduled", self.engine.events_scheduled)
         return RunResult(
             program=self.program.name,
             platform=self.platform_name,
@@ -344,7 +351,9 @@ def run_sequential_timed(
     from repro.runtime.core import run_kernel_blocking
 
     probe: Probe = tracer if tracer is not None else NULL_PROBE
-    memsys = machine.memory_system(program.env.regions, exact=exact_memory)
+    memsys = machine.memory_system(
+        program.env.regions, exact=exact_memory, single_issuer=True
+    )
     backend = _SequentialBackend(program, memsys, probe)
 
     for section in program.prologue:

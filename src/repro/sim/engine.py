@@ -35,10 +35,33 @@ Example
 from __future__ import annotations
 
 import heapq
+import os
 from collections import deque
 from typing import Any, Callable, Generator, Iterable, Optional
 
-__all__ = ["Engine", "Event", "Timeout", "Process", "Resource", "SimulationError"]
+__all__ = [
+    "Engine",
+    "Event",
+    "Timeout",
+    "Process",
+    "Resource",
+    "SimulationError",
+    "fastpath_enabled",
+]
+
+#: Environment toggle for the uncontended-protocol fast path (default on).
+#: Read at model *construction* time, never stored on platform objects —
+#: platform instances feed the repro.exec cache digest, and the toggle
+#: must not change cache keys (cycles are bit-identical either way).
+ENV_FASTPATH = "TFLUX_FASTPATH"
+
+
+def fastpath_enabled(default: bool = True) -> bool:
+    """Whether the event-coalescing fast path is enabled (``TFLUX_FASTPATH``)."""
+    raw = os.environ.get(ENV_FASTPATH, "").strip().lower()
+    if not raw:
+        return default
+    return raw not in ("0", "off", "false", "no")
 
 
 class SimulationError(RuntimeError):
@@ -187,12 +210,15 @@ class Process:
         """Suspend on the yielded target (delay, event, or process)."""
         if type(target) is int:  # plain cycle delay: the hot case
             self.engine._schedule(target, self._resume, _SEND_NONE)
+        elif isinstance(target, (int, float)):
+            # Numeric delays short-circuit here (float and the rare int
+            # subclass); they used to fall through two failed isinstance
+            # checks to a duplicate tail branch.
+            self.engine._schedule(float(target), self._resume, _SEND_NONE)
         elif isinstance(target, Process):
             target.done.add_callback(self._resume)
         elif isinstance(target, Event):
             target.add_callback(self._resume)
-        elif isinstance(target, (int, float)):
-            self.engine._schedule(float(target), self._resume, _SEND_NONE)
         else:
             exc = SimulationError(
                 f"process {self.name!r} yielded unsupported {target!r}"
@@ -222,9 +248,20 @@ class Resource:
     granted; the holder must call ``release()`` exactly once.  Grant order
     is strictly FIFO, which models the paper's bus arbiter behaviour and
     keeps simulations deterministic.
+
+    The uncontended fast path pairs :meth:`try_acquire` (synchronous
+    grant when a slot is free — no grant event, no zero-delay hop) with
+    :meth:`release_at` (a *lazy* release: the slot is free from the given
+    time onward, but no callback is scheduled for it).  Lazy holds expire
+    passively inside the next ``try_acquire``/``request`` at or after
+    their deadline; the moment a requester actually has to queue, every
+    outstanding lazy hold is materialised into a scheduled release so the
+    waiter is granted at exactly the time the slow path would have
+    granted it.  Invariant: a non-empty wait queue implies no
+    unmaterialised lazy holds.
     """
 
-    __slots__ = ("engine", "capacity", "_in_use", "_queue", "name")
+    __slots__ = ("engine", "capacity", "_in_use", "_queue", "_lazy", "name")
 
     def __init__(self, engine: "Engine", capacity: int = 1, name: str = "") -> None:
         if capacity < 1:
@@ -237,15 +274,71 @@ class Resource:
         # arbiter queue grows to O(kernels) under contention — list.pop(0)
         # made release O(n) on exactly the hottest simulations.
         self._queue: deque[Event] = deque()
+        #: Min-heap of lazy-release deadlines (times, not delays).
+        self._lazy: list[float] = []
+
+    def _expire_lazy(self, now: float) -> None:
+        lazy = self._lazy
+        while lazy and lazy[0] <= now:
+            heapq.heappop(lazy)
+            self._in_use -= 1
+
+    def _materialize_lazy(self) -> None:
+        """Turn every lazy hold into a scheduled real release.
+
+        Called when a requester queues: from that point on, frees must
+        arrive as events so the FIFO grant happens at the exact time the
+        eager protocol would have produced it.
+        """
+        engine = self.engine
+        lazy = self._lazy
+        while lazy:
+            t = heapq.heappop(lazy)
+            engine._schedule(t - engine.now, self._lazy_release, None)
+
+    def _lazy_release(self, _arg: Any) -> None:
+        self.release()
+
+    def try_acquire(self) -> bool:
+        """Grant a slot synchronously if one is free *right now*.
+
+        Returns ``True`` and takes the slot without creating any event,
+        or ``False`` when the caller must use the eager ``request()``
+        protocol (at capacity, or waiters are queued).
+        """
+        if self._lazy:
+            self._expire_lazy(self.engine.now)
+        if self._queue or self._in_use >= self.capacity:
+            return False
+        self._in_use += 1
+        return True
+
+    def release_at(self, time: float) -> None:
+        """Lazily free a slot at *time* (>= now).
+
+        Only valid for slots taken with :meth:`try_acquire` while no
+        waiter is queued; contended paths must use :meth:`release`.
+        """
+        if self._queue:
+            # A waiter queued after our try_acquire: deliver eagerly so
+            # the FIFO grant fires at the exact slow-path time.
+            engine = self.engine
+            engine._schedule(time - engine.now, self._lazy_release, None)
+        else:
+            heapq.heappush(self._lazy, time)
 
     def request(self) -> Event:
         """Ask for a slot; the returned event triggers when granted."""
+        if self._lazy:
+            self._expire_lazy(self.engine.now)
         ev = Event(self.engine, name=f"grant:{self.name}")
-        if self._in_use < self.capacity:
+        if not self._queue and self._in_use < self.capacity:
             self._in_use += 1
             ev.succeed(self)
         else:
             self._queue.append(ev)
+            if self._lazy:
+                self._materialize_lazy()
         return ev
 
     def release(self) -> None:
@@ -282,6 +375,11 @@ class Engine:
         self._heap: list[tuple[float, int, Callable, Any]] = []
         self._seq = 0
         self._nevents = 0
+
+    @property
+    def events_scheduled(self) -> int:
+        """Total heap pushes so far (diagnostic; ``_seq`` is the push count)."""
+        return self._seq
 
     # -- factory helpers --------------------------------------------------
     def event(self, name: str = "") -> Event:

@@ -60,10 +60,17 @@ class FastMemorySystem:
         mem: MemoryConfig,
         regions: RegionSpace,
         l2_groups: list[int] | None = None,
+        single_issuer: bool = False,
     ) -> None:
         if ncores > 63:
             raise ValueError("bitmask coherence supports at most 63 cores")
         self.ncores = ncores
+        # Declared at construction by the sequential baseline: with one
+        # issuing core the sharer mask and owner array are provably inert
+        # (nothing to invalidate or downgrade), so _sweep may skip them.
+        # Guarded: a second issuing core raises rather than mis-modelling.
+        self._single_issuer = single_issuer or ncores == 1
+        self._issuer: int | None = None
         self.l1cfg = l1
         self.l2cfg = l2
         self.mem = mem
@@ -87,6 +94,8 @@ class FastMemorySystem:
         self._corebit = [np.uint64(1 << c) for c in range(ncores)]
         self._othermask = [np.uint64(all_cores ^ (1 << c)) for c in range(ncores)]
         self._group_of = np.asarray(self.l2_groups, dtype=np.int64)
+        # Reusable 1..k fill-count ramp for the single-core scatter path.
+        self._iota = np.arange(1, 1025, dtype=np.int64)
         self._state: dict[str, _RegionState] = {}
         for reg in regions:
             n = reg.lines(self.line_size)
@@ -115,19 +124,43 @@ class FastMemorySystem:
             self._state[name] = st
         return st
 
-    def _lines_array(self, op: _RangeOp) -> np.ndarray:
-        idx = op.line_indices(self.line_size)
-        if isinstance(idx, range):
-            return np.arange(idx.start, idx.stop, dtype=np.int64)
-        return np.asarray(idx, dtype=np.int64)
+    def _fill_single(self, dst: np.ndarray, miss: np.ndarray, k: int,
+                     base) -> None:
+        """Write post-sweep fill timestamps ``base + cumsum(miss)`` into the
+        contiguous view *dst*, shortcutting the cumulative sum when the
+        misses form a single leading run (then the counts are 1..k
+        followed by a flat k for the resident tail)."""
+        n = dst.size
+        if k == 0:
+            dst[:] = base
+            return
+        if k == n or bool(miss[:k].all()):
+            if self._iota.size < k:
+                self._iota = np.arange(
+                    1, max(k, 2 * self._iota.size) + 1, dtype=np.int64
+                )
+            np.add(self._iota[:k], base, out=dst[:k])
+            if k < n:
+                dst[k:] = base + k
+            return
+        np.add(np.cumsum(miss, dtype=np.int64), base, out=dst)
 
     # -- main entry points ---------------------------------------------------
     def run_op(self, core: int, op: _RangeOp) -> int:
         total = 0
-        lines = self._lines_array(op)
-        if lines.size == 0:
+        idx = op.line_indices(self.line_size)
+        if isinstance(idx, range):
+            # Dense sweeps (the overwhelmingly common shape) index the
+            # per-line arrays with a slice: gathers become views and
+            # scatters contiguous writes, instead of fancy-indexed copies.
+            nlines = len(idx)
+            sel: slice | np.ndarray = slice(idx.start, idx.stop)
+        else:
+            lines = np.asarray(idx, dtype=np.int64)
+            nlines = lines.size
+            sel = lines
+        if nlines == 0:
             return 0
-        nlines = lines.size
         dense = op.stride <= self.line_size
         fits_l1 = nlines <= self.l1_capacity
         for rep in range(op.reps):
@@ -145,7 +178,7 @@ class FastMemorySystem:
                 st.cycles += lat * nlines * remaining
                 total += lat * nlines * remaining
                 break
-            total += self._sweep(core, op.region.name, lines, op.is_write, dense)
+            total += self._sweep(core, op.region.name, sel, nlines, op.is_write, dense)
         return total
 
     def run_summary(self, core: int, summary: AccessSummary) -> int:
@@ -153,42 +186,63 @@ class FastMemorySystem:
 
     # -- the vectorised protocol ----------------------------------------------
     def _sweep(
-        self, core: int, region: str, lines: np.ndarray, is_write: bool,
-        dense: bool = True,
+        self, core: int, region: str, sel: slice | np.ndarray, n: int,
+        is_write: bool, dense: bool = True,
     ) -> int:
         rs = self._region_state(region)
         group = self.l2_groups[core]
         st = self.stats[core]
-        n = lines.size
+        single = self._single_issuer
+        if single and core != self._issuer:
+            if self._issuer is not None:
+                raise RuntimeError(
+                    "memory system declared single_issuer but saw traffic "
+                    f"from cores {self._issuer} and {core}"
+                )
+            self._issuer = core
 
         clock = self._clock[core]
         l2_clock = self._l2_clock[group]
-        mybit = self._corebit[core]
-        otherbits = self._othermask[core]
 
-        last = rs.l1_last[core, lines]
-        sh = rs.sharers[lines]
-        own = rs.owner[lines]
+        # Residency is one comparison per level: ``last >= 0 and
+        # clock - last < capacity`` is, for integer clocks, exactly
+        # ``last >= max(0, clock - capacity + 1)``.
+        last = rs.l1_last[core, sel]
+        thr1 = max(0, clock - self.l1_capacity + 1)
+        thr2 = max(0, l2_clock - self.l2_capacity + 1)
+        l2_last = rs.l2_last[group, sel]
 
-        has_copy = (sh & mybit) != 0
-        recent = (last >= 0) & (clock - last < self.l1_capacity)
-        in_l1 = has_copy & recent
-        miss = ~in_l1
-
-        # Remote modified owner → cache-to-cache transfer.
-        remote_owned = miss & (own >= 0) & (own != core)
-
-        # L2 residency for plain misses.
-        l2_last = rs.l2_last[group, lines]
-        in_l2 = (l2_last >= 0) & (l2_clock - l2_last < self.l2_capacity)
-        plain_miss = miss & ~remote_owned
-        l2_hit = plain_miss & in_l2
-        mem_miss = plain_miss & ~in_l2
-
-        n_l1 = int(in_l1.sum())
-        n_coh = int(remote_owned.sum())
-        n_l2 = int(l2_hit.sum())
-        n_mem = int(mem_miss.sum())
+        if single:
+            # One core: nothing invalidates, so "ever filled and still
+            # recent" is the whole residency story — the sharer mask and
+            # owner array are provably inert (no remote copies to track,
+            # no remote owner to downgrade) and never touched.
+            miss = last < thr1
+            n_miss = int(miss.sum())
+            n_l1 = n - n_miss
+            remote_owned = None
+            n_coh = 0
+            mem_miss = miss & (l2_last < thr2)
+            n_mem = int(mem_miss.sum())
+            n_l2 = n_miss - n_mem
+        else:
+            mybit = self._corebit[core]
+            otherbits = self._othermask[core]
+            sh = rs.sharers[sel]
+            own = rs.owner[sel]
+            in_l1 = ((sh & mybit) != 0) & (last >= thr1)
+            miss = ~in_l1
+            # Remote modified owner → cache-to-cache transfer.
+            remote_owned = miss & (own >= 0) & (own != core)
+            plain_miss = miss & ~remote_owned
+            n_coh = int(remote_owned.sum())
+            # L2 residency for plain misses.
+            in_l2 = l2_last >= thr2
+            l2_hit = plain_miss & in_l2
+            mem_miss = plain_miss & ~in_l2
+            n_l1 = int(in_l1.sum())
+            n_l2 = int(l2_hit.sum())
+            n_mem = int(mem_miss.sum())
 
         l1r, l1w = self.l1cfg.read_latency, self.l1cfg.write_latency
         l2r = self.l2cfg.read_latency
@@ -196,43 +250,56 @@ class FastMemorySystem:
         n_upg = 0
 
         if is_write:
-            shared_hit = in_l1 & ((sh & otherbits) != 0)
-            n_upg = int(shared_hit.sum())
-            cycles += n_upg * (l1w + self.mem.upgrade_latency)
-            cycles += (n_l1 - n_upg) * l1w
-            # All written lines: invalidate remote copies, become owner.
-            # Invalidating a *resident* remote copy frees an L1 slot there:
-            # record it as a hole so the victim's next fills do not advance
-            # its LRU clock (matching set-associative behaviour, where a
-            # refill reoccupies the invalidated way instead of evicting).
-            # Fast path: private data (no remote copies) skips the scan —
-            # the common case for each kernel's own output ranges.
-            if ((sh & otherbits) != 0).any():
-                for other in range(self.ncores):
-                    if other == core:
-                        continue
-                    held = (sh & self._corebit[other]) != 0
-                    if not held.any():
-                        continue
-                    olast = rs.l1_last[other, lines]
-                    resident = held & (olast >= 0) & (
-                        self._clock[other] - olast < self.l1_capacity
+            if single:
+                cycles += n_l1 * l1w  # no remote sharers → no upgrades
+            else:
+                shared_hit = in_l1 & ((sh & otherbits) != 0)
+                n_upg = int(shared_hit.sum())
+                cycles += n_upg * (l1w + self.mem.upgrade_latency)
+                cycles += (n_l1 - n_upg) * l1w
+                # All written lines: invalidate remote copies, become owner.
+                # Invalidating a *resident* remote copy frees an L1 slot
+                # there: record it as a hole so the victim's next fills do
+                # not advance its LRU clock (matching set-associative
+                # behaviour, where a refill reoccupies the invalidated way
+                # instead of evicting).  Fast path: private data (no remote
+                # copies) skips the scan — the common case for each
+                # kernel's own output ranges.  When remote copies exist,
+                # visit only the set bits of the union sharer mask instead
+                # of scanning all ncores: the sharer set of a swept range
+                # is typically one or two producers.
+                masked = sh & otherbits
+                union = int(np.bitwise_or.reduce(masked)) if masked.size else 0
+                while union:
+                    lowbit = union & -union
+                    other = lowbit.bit_length() - 1
+                    union &= union - 1
+                    held = (masked & self._corebit[other]) != 0
+                    olast = rs.l1_last[other, sel]
+                    resident = held & (
+                        olast >= max(0, self._clock[other] - self.l1_capacity + 1)
                     )
                     self._holes[other] += int(resident.sum())
-            rs.sharers[lines] = mybit
-            rs.owner[lines] = core
+                rs.sharers[sel] = mybit
+                rs.owner[sel] = core
         else:
             cycles += n_l1 * l1r
-            # Reads: remote-owned lines downgrade (owner cleared, shared).
-            if n_coh:
-                downgrade = lines[remote_owned]
-                rs.owner[downgrade] = -1
-                # The previous owner's copy stays valid (now SHARED); the
-                # line also lands in the owner's L2 via writeback.
-                owner_groups = self._group_of[own[remote_owned].astype(np.int64)]
-                for g in np.unique(owner_groups):
-                    rs.l2_last[g, downgrade[owner_groups == g]] = self._l2_clock[g]
-            rs.sharers[lines] |= mybit
+            if not single:
+                # Reads: remote-owned lines downgrade (owner cleared, shared).
+                if n_coh:
+                    lines = (
+                        np.arange(sel.start, sel.stop, dtype=np.int64)
+                        if isinstance(sel, slice)
+                        else sel
+                    )
+                    downgrade = lines[remote_owned]
+                    rs.owner[downgrade] = -1
+                    # The previous owner's copy stays valid (now SHARED);
+                    # the line also lands in the owner's L2 via writeback.
+                    owner_groups = self._group_of[own[remote_owned].astype(np.int64)]
+                    for g in np.unique(owner_groups):
+                        rs.l2_last[g, downgrade[owner_groups == g]] = self._l2_clock[g]
+                rs.sharers[sel] |= mybit
 
         cycles += n_coh * (self.mem.cache_to_cache_latency + l1r)
         cycles += n_l2 * (l1r + l2r)
@@ -257,16 +324,27 @@ class FastMemorySystem:
         # for the chunked/streaming patterns the workloads produce.  Fills
         # first consume any invalidation holes (freed slots) before they
         # start displacing LRU victims.
-        l1_fills = np.cumsum(miss.astype(np.int64))
-        total_fills = int(l1_fills[-1])
-        holes_used = min(self._holes[core], total_fills)
-        self._holes[core] -= holes_used
-        rs.l1_last[core, lines] = clock + np.maximum(l1_fills - holes_used, 0)
-        self._clock[core] = clock + total_fills - holes_used
-        l2_fill_mask = (mem_miss | remote_owned).astype(np.int64)
-        l2_fills = np.cumsum(l2_fill_mask)
-        rs.l2_last[group, lines] = l2_clock + l2_fills
-        self._l2_clock[group] = l2_clock + int(l2_fills[-1])
+        if single and isinstance(sel, slice):
+            # One core never receives invalidation holes, and dense sweeps
+            # almost always miss in one leading run (the streaming shape:
+            # any still-resident tail of the previous pass hits at the
+            # end), so the fill counts 1..k then flat can be written
+            # directly instead of through a cumulative sum.
+            self._fill_single(rs.l1_last[core, sel], miss, n_miss, clock)
+            self._clock[core] = clock + n_miss
+            self._fill_single(rs.l2_last[group, sel], mem_miss, n_mem, l2_clock)
+            self._l2_clock[group] = l2_clock + n_mem
+        else:
+            l1_fills = np.cumsum(miss, dtype=np.int64)
+            total_fills = int(l1_fills[-1])
+            holes_used = min(self._holes[core], total_fills)
+            self._holes[core] -= holes_used
+            rs.l1_last[core, sel] = clock + np.maximum(l1_fills - holes_used, 0)
+            self._clock[core] = clock + total_fills - holes_used
+            l2_fill_mask = mem_miss if single else (mem_miss | remote_owned)
+            l2_fills = np.cumsum(l2_fill_mask, dtype=np.int64)
+            rs.l2_last[group, sel] = l2_clock + l2_fills
+            self._l2_clock[group] = l2_clock + int(l2_fills[-1])
 
         st.accesses += n
         st.l1_hits += n_l1

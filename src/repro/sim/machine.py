@@ -74,17 +74,32 @@ class MachineConfig:
         return self.ncores - self.os_reserved_cores
 
     def memory_system(
-        self, regions: RegionSpace, exact: bool = False
+        self, regions: RegionSpace, exact: bool = False,
+        single_issuer: bool = False,
     ) -> CoherentMemorySystem | FastMemorySystem:
-        """Build a memory system for this machine over *regions*."""
-        cls = CoherentMemorySystem if exact else FastMemorySystem
-        return cls(
+        """Build a memory system for this machine over *regions*.
+
+        *single_issuer* declares that only one core will ever issue
+        accesses (the sequential baseline): the fast model then skips the
+        provably-inert coherence bookkeeping.  Timing is unaffected.
+        """
+        if exact:
+            return CoherentMemorySystem(
+                ncores=self.ncores,
+                l1=self.l1,
+                l2=self.l2,
+                mem=self.mem,
+                regions=regions,
+                l2_groups=self.l2_groups(),
+            )
+        return FastMemorySystem(
             ncores=self.ncores,
             l1=self.l1,
             l2=self.l2,
             mem=self.mem,
             regions=regions,
             l2_groups=self.l2_groups(),
+            single_issuer=single_issuer,
         )
 
     def with_cores(self, ncores: int) -> "MachineConfig":

@@ -79,6 +79,13 @@ class MultiGroupHardwareAdapter(ProtocolAdapter):
         mmi = counters.scope("mmi")
         mmi.inc("commands", sum(m.commands for m in self.mmis))
         mmi.inc("queries", sum(m.queries for m in self.mmis))
+        # Each group's MMI coalesces its own uncontended ops (the fast
+        # path is per-device state, so groups never interfere).  The
+        # statistics live under engine.* — the one namespace allowed to
+        # differ between TFLUX_FASTPATH on and off.
+        engine = counters.scope("engine")
+        engine.inc("coalesced_commands", sum(m.fast_commands for m in self.mmis))
+        engine.inc("coalesced_queries", sum(m.fast_queries for m in self.mmis))
 
     # -- partitioning -----------------------------------------------------------
     def group_of_kernel(self, kernel: int) -> int:

@@ -15,6 +15,7 @@ from repro.exec import (
     EvalRequest,
     JobSpec,
     ResultCache,
+    clear_baseline_memo,
     evaluate_many,
     run_job,
     run_jobs,
@@ -194,6 +195,45 @@ def test_capture_errors_round_trips_through_cache(tmp_path):
     warm = run_jobs([spec], jobs=1, cache=cache)[0]
     assert cold.error is not None
     assert warm.error == cold.error
+
+
+def _count_baseline_runs(monkeypatch):
+    """Instrument the sequential timing entry point with a call counter."""
+    import repro.platforms.base as base
+
+    calls = []
+    real = base.run_sequential_timed
+
+    def counting(*args, **kwargs):
+        calls.append(1)
+        return real(*args, **kwargs)
+
+    monkeypatch.setattr(base, "run_sequential_timed", counting)
+    return calls
+
+
+def test_baseline_simulated_once_per_cell(monkeypatch):
+    """The §5 baseline is the canonical unroll=1 program: one sweep cell
+    simulates it exactly once regardless of the unroll grid, and repeat
+    batches for the same cell (e.g. a kernel-count curve) hit the
+    in-process memo instead of re-simulating."""
+    clear_baseline_memo()
+    calls = _count_baseline_runs(monkeypatch)
+    evaluate_many([_request(nkernels=2), _request(nkernels=4)], jobs=1, cache=None)
+    assert len(calls) == 1  # both cells share one (platform, bench, size)
+    evaluate_many([_request(nkernels=8)], jobs=1, cache=None)
+    assert len(calls) == 1  # memo hit across batches
+    clear_baseline_memo()
+    evaluate_many([_request(nkernels=8)], jobs=1, cache=None)
+    assert len(calls) == 2
+
+
+def test_baseline_is_the_unroll1_program(monkeypatch):
+    """sequential_cycles must equal the standalone unroll=1 baseline."""
+    clear_baseline_memo()
+    ev = evaluate_many([_request()], jobs=1, cache=None)[0]
+    seq = run_job(_spec(unroll=1, nkernels=1, verify=False, mode="sequential"))
+    assert ev.sequential_cycles == seq.seq_cycles
 
 
 def test_job_count_parsing(monkeypatch):

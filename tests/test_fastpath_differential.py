@@ -1,0 +1,268 @@
+"""TFLUX_FASTPATH on/off differential suite.
+
+The event-coalesced fast path through the DES protocol stack
+(``repro.sim.engine.Resource.try_acquire`` + the adapter plans in
+``sim/mmi.py``, ``sim/interconnect.py``, ``tsu/software.py``) is a pure
+event-count optimisation: it must never change *what* is simulated.
+These tests pin the contract on every simulated platform:
+
+* bit-identical total and region cycle counts;
+* identical counters — excluding the ``engine.*`` namespace, the one
+  scope that is *supposed* to change (dispatched/scheduled event counts
+  and coalescing statistics);
+* byte-identical functional output and identical span multisets;
+* and the point of it all: the fast path dispatches strictly fewer
+  engine events on protocol-bound runs, never more.
+
+Fixed paper programs run first; a hypothesis strategy then feeds random
+fork/join DAGs through the same check, so protocol interleavings no
+benchmark happens to produce still keep the two schedules married.
+"""
+
+import os
+from collections import Counter as Multiset
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.apps import get_benchmark, problem_sizes
+from repro.core import ProgramBuilder
+from repro.obs import Tracer
+from repro.platforms.cellbe import TFluxCell
+from repro.platforms.hard import TFluxHard
+from repro.platforms.soft import TFluxSoft
+from repro.runtime.simdriver import SimulatedRuntime
+from repro.sim.engine import ENV_FASTPATH
+from repro.tsu.multigroup import MultiGroupHardwareAdapter
+
+NKERNELS = 4
+
+
+def _platform(key):
+    if key == "hard":
+        p = TFluxHard()
+        return p.machine, p.adapter_factory()
+    if key == "soft":
+        p = TFluxSoft()
+        return p.machine, p.adapter_factory()
+    if key == "cell":
+        p = TFluxCell()
+        return p.machine, p.adapter_factory()
+    if key == "multigroup":
+        p = TFluxHard()
+        return p.machine, (
+            lambda engine, tsu: MultiGroupHardwareAdapter(engine, tsu, n_groups=2)
+        )
+    raise KeyError(key)
+
+
+PLATFORMS = ("hard", "soft", "cell", "multigroup")
+
+
+def _with_fastpath(enabled, fn):
+    """Run *fn* with TFLUX_FASTPATH forced on/off (read at model build)."""
+    old = os.environ.get(ENV_FASTPATH)
+    os.environ[ENV_FASTPATH] = "1" if enabled else "0"
+    try:
+        return fn()
+    finally:
+        if old is None:
+            del os.environ[ENV_FASTPATH]
+        else:
+            os.environ[ENV_FASTPATH] = old
+
+
+# -- program builders (fresh per run: programs are single-use) -----------------
+def build_trapez(target):
+    bench = get_benchmark("trapez")
+    size = problem_sizes("trapez", target)["small"]
+    return bench.build(size, unroll=8, max_threads=64), None
+
+
+def build_blocked(target):
+    """A three-stage pipeline wide enough to split into several blocks."""
+    n = 12
+    b = ProgramBuilder("blocked")
+    b.env.alloc("a", n)
+    b.env.alloc("b", n)
+    b.env.alloc("c", n)
+    t1 = b.thread(
+        "s1", body=lambda env, i: env.array("a").__setitem__(i, i + 1), contexts=n
+    )
+    t2 = b.thread(
+        "s2",
+        body=lambda env, i: env.array("b").__setitem__(i, env.array("a")[i] * 2),
+        contexts=n,
+    )
+    t3 = b.thread(
+        "s3",
+        body=lambda env, i: env.array("c").__setitem__(i, env.array("b")[i] + 1),
+        contexts=n,
+    )
+    red = b.thread(
+        "reduce", body=lambda env, _: env.set("total", float(env.array("c").sum()))
+    )
+    b.depends(t1, t2)
+    b.depends(t2, t3)
+    b.depends(t3, red, "all")
+    return b.build(), 6
+
+
+PROGRAMS = {"trapez": build_trapez, "blocked": build_blocked}
+
+_TARGET = {"hard": "S", "soft": "N", "cell": "C", "multigroup": "S"}
+
+
+def run_once(platform_key, program_key, fast, nkernels=NKERNELS):
+    machine, factory = _platform(platform_key)
+
+    def go():
+        prog, cap = PROGRAMS[program_key](_TARGET[platform_key])
+        return SimulatedRuntime(
+            prog,
+            machine,
+            nkernels=nkernels,
+            adapter_factory=factory,
+            tsu_capacity=cap,
+            tracer=Tracer(),
+        ).run()
+
+    return _with_fastpath(fast, go)
+
+
+# -- fingerprints --------------------------------------------------------------
+def env_fingerprint(env):
+    fp = {}
+    for name in env.names():
+        value = env[name]
+        fp[name] = value.tobytes() if isinstance(value, np.ndarray) else value
+    return fp
+
+
+def nonengine_counters(result):
+    return {
+        k: v
+        for k, v in result.counters.as_dict().items()
+        if not k.startswith("engine.")
+    }
+
+
+def span_multiset(result):
+    return Multiset((s.kind, s.name) for s in result.spans)
+
+
+def assert_schedules_married(fast, slow):
+    """The full fast-vs-eager contract for one (platform, program) pair."""
+    assert fast.cycles == slow.cycles
+    assert fast.region_cycles == slow.region_cycles
+    assert nonengine_counters(fast) == nonengine_counters(slow)
+    assert env_fingerprint(fast.env) == env_fingerprint(slow.env)
+    assert span_multiset(fast) == span_multiset(slow)
+    assert [(k.dthreads, k.fetches, k.waits) for k in fast.kernels] == [
+        (k.dthreads, k.fetches, k.waits) for k in slow.kernels
+    ]
+    assert fast.counters["engine.events"] <= slow.counters["engine.events"]
+
+
+# -- fixed paper programs ------------------------------------------------------
+@pytest.mark.parametrize("platform_key", PLATFORMS)
+@pytest.mark.parametrize("program_key", sorted(PROGRAMS))
+def test_fastpath_bit_identical(platform_key, program_key):
+    fast = run_once(platform_key, program_key, fast=True)
+    slow = run_once(platform_key, program_key, fast=False)
+    assert_schedules_married(fast, slow)
+
+
+def test_fastpath_actually_coalesces():
+    """On the protocol-bound hard platform the fast path must save real
+    events (not merely tie) and account for each collapsed ladder."""
+    fast = run_once("hard", "trapez", fast=True)
+    slow = run_once("hard", "trapez", fast=False)
+    assert fast.counters["engine.events"] < slow.counters["engine.events"]
+    assert (
+        fast.counters["engine.coalesced_commands"]
+        + fast.counters["engine.coalesced_queries"]
+        > 0
+    )
+    assert slow.counters["engine.coalesced_commands"] == 0
+    assert slow.counters["engine.coalesced_queries"] == 0
+
+
+def test_fastpath_default_is_on(monkeypatch):
+    monkeypatch.delenv(ENV_FASTPATH, raising=False)
+    prog, _ = build_trapez("S")
+    run = TFluxHard().execute(prog, nkernels=2)
+    assert run.counters["engine.coalesced_queries"] > 0
+
+
+# -- random DAGs ---------------------------------------------------------------
+@st.composite
+def dag_programs(draw):
+    """A random fork/join pipeline: stage widths, dep kinds, capacity."""
+    nstages = draw(st.integers(min_value=1, max_value=3))
+    widths = [draw(st.integers(min_value=1, max_value=6)) for _ in range(nstages)]
+    reduce_tail = draw(st.booleans())
+    cap = draw(st.sampled_from([None, 4, 8]))
+    nkernels = draw(st.integers(min_value=1, max_value=4))
+    return widths, reduce_tail, cap, nkernels
+
+
+def build_dag(widths, reduce_tail):
+    b = ProgramBuilder("dag")
+    for j, w in enumerate(widths):
+        b.env.alloc(f"a{j}", w)
+
+    def stage_body(j):
+        if j == 0:
+            return lambda env, i: env.array("a0").__setitem__(i, float(i + 1))
+        return lambda env, i: env.array(f"a{j}").__setitem__(
+            i, float(env.array(f"a{j-1}").sum()) + i
+        )
+
+    threads = []
+    for j, w in enumerate(widths):
+        t = b.thread(f"s{j}", body=stage_body(j), contexts=w)
+        if threads:
+            # Cross-stage widths differ in general: join on the whole
+            # predecessor stage.
+            b.depends(threads[-1], t, "all")
+        threads.append(t)
+    if reduce_tail:
+        last = len(widths) - 1
+        red = b.thread(
+            "reduce",
+            body=lambda env, _: env.set(
+                "total", float(env.array(f"a{last}").sum())
+            ),
+        )
+        b.depends(threads[-1], red, "all")
+    return b.build()
+
+
+@pytest.mark.parametrize("platform_key", PLATFORMS)
+@settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(params=dag_programs())
+def test_fastpath_bit_identical_random_dags(platform_key, params):
+    widths, reduce_tail, cap, nkernels = params
+    machine, factory = _platform(platform_key)
+    if platform_key == "multigroup":
+        nkernels = max(nkernels, 2)  # need >= n_groups kernels
+
+    def go():
+        return SimulatedRuntime(
+            build_dag(widths, reduce_tail),
+            machine,
+            nkernels=nkernels,
+            adapter_factory=factory,
+            tsu_capacity=cap,
+            tracer=Tracer(),
+        ).run()
+
+    fast = _with_fastpath(True, go)
+    slow = _with_fastpath(False, go)
+    assert_schedules_married(fast, slow)

@@ -194,6 +194,117 @@ def test_resource_fifo_grant_order():
     assert grants == list(range(6))
 
 
+def test_resource_try_acquire_and_lazy_release():
+    """The fast-path primitives: a synchronous grant costs no events and
+    a lazy release frees the slot exactly at its deadline."""
+    eng = Engine()
+    res = Resource(eng, capacity=1, name="bus")
+    before = eng.events_scheduled
+    assert res.try_acquire()
+    assert eng.events_scheduled == before  # no grant event materialised
+    assert not res.try_acquire()  # busy until the lazy deadline
+    res.release_at(10.0)
+    timeline = []
+
+    def late_user(eng, res):
+        yield 10
+        # The lazy hold has expired by its deadline: a requester at the
+        # deadline itself gets the slot synchronously.
+        assert res.try_acquire()
+        timeline.append(eng.now)
+        res.release()
+
+    eng.process(late_user(eng, res))
+    eng.run()
+    assert timeline == [10.0]
+
+
+def test_resource_lazy_release_materialises_for_waiters():
+    """A requester that queues behind a lazy hold is granted at the exact
+    deadline, through the normal FIFO grant event."""
+    eng = Engine()
+    res = Resource(eng, capacity=1)
+    assert res.try_acquire()
+    res.release_at(7.0)
+    grants = []
+
+    def waiter(eng, res, tag):
+        grant = res.request()
+        yield grant
+        grants.append((eng.now, tag))
+        yield 2
+        res.release()
+
+    def early(eng, res):
+        yield 3
+        eng.process(waiter(eng, res, "a"))
+        eng.process(waiter(eng, res, "b"))
+
+    eng.process(early(eng, res))
+    eng.run()
+    assert grants == [(7.0, "a"), (9.0, "b")]
+
+
+def test_resource_release_at_with_queue_delivers_eagerly():
+    """release_at while a waiter is queued must hand over at the deadline
+    (the queue-implies-no-unmaterialised-lazy-holds invariant)."""
+    eng = Engine()
+    res = Resource(eng, capacity=1)
+    grants = []
+
+    def holder(eng, res):
+        grant = res.request()
+        yield grant
+        yield 4
+        res.release_at(eng.now + 3)  # frees at t=7
+
+    def waiter(eng, res):
+        yield 1
+        grant = res.request()
+        yield grant
+        grants.append(eng.now)
+        res.release()
+
+    eng.process(holder(eng, res))
+    eng.process(waiter(eng, res))
+    eng.run()
+    assert grants == [7.0]
+
+
+def test_resource_try_acquire_respects_queue_fifo():
+    """try_acquire never jumps a queued waiter, even with capacity free
+    at the lazy deadline."""
+    eng = Engine()
+    res = Resource(eng, capacity=1)
+    order = []
+
+    def holder(eng, res):
+        assert res.try_acquire()
+        res.release_at(5.0)
+        yield 0
+
+    def waiter(eng, res):
+        yield 2
+        grant = res.request()
+        yield grant
+        order.append(("waiter", eng.now))
+        yield 1
+        res.release()
+
+    def sniper(eng, res):
+        yield 5
+        # Arrives exactly at the lazy deadline, but behind the queue.
+        if res.try_acquire():
+            order.append(("sniper", eng.now))
+            res.release()
+
+    eng.process(holder(eng, res))
+    eng.process(waiter(eng, res))
+    eng.process(sniper(eng, res))
+    eng.run()
+    assert order == [("waiter", 5.0)]
+
+
 def test_all_of_combines_events():
     eng = Engine()
     evs = [eng.event() for _ in range(3)]

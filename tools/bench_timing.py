@@ -4,7 +4,10 @@
 Runs a representative slice of the paper grid (a Figure-5-style
 multi-benchmark evaluate batch) three ways — serial, parallel
 (``TFLUX_JOBS``), and warm-cache — verifies all three produce identical
-cycle numbers, and writes the measurements to ``BENCH_PR1.json``.
+cycle numbers, cross-checks the engine fast path (``TFLUX_FASTPATH`` on
+vs off must be cycle-identical over a slice of the figure and ablation
+dimensions, while dispatching fewer events per DThread instance), and
+writes the measurements to ``BENCH_PR4.json``.
 
 Usage::
 
@@ -25,9 +28,10 @@ import sys
 import tempfile
 import time
 
-from repro.apps import problem_sizes
-from repro.exec import EvalRequest, ResultCache, evaluate_many
-from repro.platforms import TFluxHard, TFluxSoft
+from repro.apps import get_benchmark, problem_sizes
+from repro.exec import EvalRequest, ResultCache, clear_baseline_memo, evaluate_many
+from repro.platforms import TFluxCell, TFluxHard, TFluxSoft
+from repro.sim.engine import ENV_FASTPATH
 
 
 def build_requests(quick: bool) -> list[EvalRequest]:
@@ -61,6 +65,92 @@ def fingerprint(evs) -> list[tuple[str, str, int, int]]:
     ]
 
 
+# -- TFLUX_FASTPATH neutrality over the figure/ablation dimensions -------------
+def _fastpath_configs():
+    """One representative cell per figure (F5/F6/F7) and per ablation
+    dimension the fast path touches (multi-group hardware, exact memory
+    model, work stealing)."""
+    return [
+        ("F5 hard trapez", TFluxHard(), "trapez", dict(nkernels=8)),
+        ("F5 hard mmult", TFluxHard(), "mmult", dict(nkernels=8)),
+        ("F6 soft trapez", TFluxSoft(), "trapez", dict(nkernels=6)),
+        ("F7 cell trapez", TFluxCell(), "trapez", dict(nkernels=6)),
+        (
+            "A exact-memory hard",
+            TFluxHard(),
+            "trapez",
+            dict(nkernels=4, exact_memory=True),
+        ),
+        (
+            "A stealing hard qsort",
+            TFluxHard(),
+            "qsort",
+            dict(nkernels=4, allow_stealing=True),
+        ),
+        ("A multigroup hard", None, "trapez", dict(nkernels=8)),
+    ]
+
+
+def _fastpath_run(platform, bench_name: str, fast: bool, **kwargs):
+    old = os.environ.get(ENV_FASTPATH)
+    os.environ[ENV_FASTPATH] = "1" if fast else "0"
+    try:
+        if platform is None:  # the multi-group hardware ablation
+            from repro.runtime.simdriver import SimulatedRuntime
+            from repro.sim.machine import BAGLE_27
+            from repro.tsu.multigroup import MultiGroupHardwareAdapter
+
+            bench = get_benchmark(bench_name)
+            size = problem_sizes(bench_name, "S")["small"]
+            prog = bench.build(size, unroll=8, max_threads=1024)
+            return SimulatedRuntime(
+                prog,
+                BAGLE_27,
+                nkernels=kwargs["nkernels"],
+                adapter_factory=lambda e, t: MultiGroupHardwareAdapter(
+                    e, t, n_groups=2
+                ),
+            ).run()
+        bench = get_benchmark(bench_name)
+        size = problem_sizes(bench_name, platform.target)["small"]
+        prog = bench.build(size, unroll=8, max_threads=1024)
+        return platform.execute(prog, **kwargs)
+    finally:
+        if old is None:
+            del os.environ[ENV_FASTPATH]
+        else:
+            os.environ[ENV_FASTPATH] = old
+
+
+def check_fastpath() -> dict:
+    """Run the slice with coalescing on and off; cycles must be
+    bit-identical, events/instance strictly lower with coalescing."""
+    identical = True
+    rows = {}
+    for label, platform, bench_name, kwargs in _fastpath_configs():
+        on = _fastpath_run(platform, bench_name, True, **kwargs)
+        off = _fastpath_run(platform, bench_name, False, **kwargs)
+        same = (on.cycles, on.region_cycles) == (off.cycles, off.region_cycles)
+        identical &= same
+        instances = max(on.total_dthreads, 1)
+        rows[label] = {
+            "identical_cycles": same,
+            "events_per_instance_off": round(
+                off.counters["engine.events"] / instances, 2
+            ),
+            "events_per_instance_on": round(
+                on.counters["engine.events"] / instances, 2
+            ),
+        }
+        flag = "" if same else "  << CYCLES DIVERGE"
+        print(
+            f"{label:>28}: ev/inst "
+            f"{rows[label]['events_per_instance_off']:6.2f} -> "
+            f"{rows[label]['events_per_instance_on']:6.2f}{flag}"
+        )
+    return {"identical_cycles": identical, "configs": rows}
+
+
 def timed(label: str, fn):
     t0 = time.perf_counter()
     out = fn()
@@ -91,7 +181,7 @@ def time_headline(cache_dir: str) -> dict[str, float]:
 def main() -> None:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--jobs", type=int, default=4)
-    ap.add_argument("--out", default="BENCH_PR1.json")
+    ap.add_argument("--out", default="BENCH_PR4.json")
     ap.add_argument("--quick", action="store_true")
     ap.add_argument(
         "--no-headline", action="store_true",
@@ -102,24 +192,35 @@ def main() -> None:
     requests = build_requests(args.quick)
     njobs = args.jobs
     cache_dir = tempfile.mkdtemp(prefix="tflux-bench-cache-")
+
+    def fresh(fn):
+        # Each timed path pays its own baselines: the in-process memo
+        # would otherwise let the first path subsidise the rest.
+        def run():
+            clear_baseline_memo()
+            return fn()
+
+        return run
+
     try:
         serial_s, serial = timed(
             "serial (TFLUX_JOBS unset)",
-            lambda: evaluate_many(requests, jobs=1, cache=None),
+            fresh(lambda: evaluate_many(requests, jobs=1, cache=None)),
         )
         parallel_s, parallel = timed(
             f"parallel (TFLUX_JOBS={njobs})",
-            lambda: evaluate_many(requests, jobs=njobs, cache=None),
+            fresh(lambda: evaluate_many(requests, jobs=njobs, cache=None)),
         )
         cache = ResultCache(cache_dir)
         cold_s, _ = timed(
             "cache cold (serial + store)",
-            lambda: evaluate_many(requests, jobs=1, cache=cache),
+            fresh(lambda: evaluate_many(requests, jobs=1, cache=cache)),
         )
         warm_s, warm = timed(
             "cache warm",
-            lambda: evaluate_many(requests, jobs=1, cache=cache),
+            fresh(lambda: evaluate_many(requests, jobs=1, cache=cache)),
         )
+        fastpath = check_fastpath()
         if args.no_headline:
             headline = None
         else:
@@ -135,6 +236,13 @@ def main() -> None:
         "execution paths disagree on cycle numbers"
     )
     print("cycle numbers identical across all three paths")
+    assert fastpath["identical_cycles"], "fast path is not cycle-neutral"
+    print("fast path cycle-neutral across the figure/ablation slice")
+
+    prev_serial = None
+    if os.path.exists("BENCH_PR3.json"):
+        with open("BENCH_PR3.json") as fh:
+            prev_serial = json.load(fh).get("seconds", {}).get("serial")
 
     payload = {
         "grid": {
@@ -154,6 +262,8 @@ def main() -> None:
             "cache_warm": round(serial_s / warm_s, 1),
         },
         "identical_cycles": True,
+        "fastpath": fastpath,
+        "serial_seconds_prev_pr": prev_serial,
         "bench_headline_seconds": headline,
         "note": (
             "Parallel gains require real cores: on a 1-core host the pool "
