@@ -1,0 +1,147 @@
+"""D1 — TFluxDist scaling: multi-node DDM over the repro.net fabric.
+
+Beyond-paper experiment (the paper stops at one chip; §4.1 only remarks
+that very large systems may want multiple TSU Groups).  Nodes ∈ {1,2,4}
+of the TFluxSoft kind (6 kernels each) cooperate on one Synchronization
+Graph; remote Ready-Count updates and forwarded operand lines travel the
+modelled network.  The shape claims pinned here:
+
+* coarse-unrolled workloads keep scaling past one box — speedup grows
+  with the node count;
+* the ``net.*`` counters expose the traffic: remote updates appear the
+  moment there is a second node, FFT forwards real operand data across
+  nodes while MMULT (whose inputs are prologue-written, i.e. replicated
+  read-only on every node) forwards none;
+* the scaling collapses when forwarded-data volume dominates link
+  bandwidth — FFT on a starved link loses most of its 4-node speedup.
+"""
+
+import pytest
+
+from benchmarks.conftest import FULL, MAX_THREADS, UNROLLS_SOFT, report
+from repro.apps import get_benchmark, problem_sizes
+from repro.exec import EvalRequest, evaluate_many
+from repro.net import NetParams
+from repro.platforms import TFluxDist
+
+BENCHES = ("trapez", "mmult", "fft")
+NODES = (1, 2, 4)
+SIZE = "large" if FULL else "small"
+#: FFT's small grid (128 rows) starves 24 kernels at coarse unrolls —
+#: the multi-node claims need the large grid's parallelism either way.
+BENCH_SIZES = {"trapez": SIZE, "mmult": SIZE, "fft": "large"}
+KERNELS_PER_NODE = 6
+
+#: A link two orders of magnitude slower than the default 16 B/cycle,
+#: with matching latency: forwarded lines now cost more than they save.
+STARVED = NetParams(link_latency_cycles=4000, bytes_per_cycle=0.05)
+
+
+def _requests():
+    reqs, keys = [], []
+    for bench in BENCHES:
+        size = problem_sizes(bench, "N")[BENCH_SIZES[bench]]
+        for nodes in NODES:
+            reqs.append(
+                EvalRequest(
+                    platform=TFluxDist(nnodes=nodes),
+                    bench=bench,
+                    size=size,
+                    nkernels=KERNELS_PER_NODE * nodes,
+                    unrolls=UNROLLS_SOFT,
+                    max_threads=MAX_THREADS,
+                )
+            )
+            keys.append((bench, nodes))
+    # The bandwidth-collapse cell: FFT on the starved link, 4 nodes.
+    reqs.append(
+        EvalRequest(
+            platform=TFluxDist(nnodes=4, net=STARVED),
+            bench="fft",
+            size=problem_sizes("fft", "N")[BENCH_SIZES["fft"]],
+            nkernels=KERNELS_PER_NODE * 4,
+            unrolls=UNROLLS_SOFT,
+            max_threads=MAX_THREADS,
+        )
+    )
+    keys.append(("fft-starved", 4))
+    return reqs, keys
+
+
+@pytest.fixture(scope="module")
+def grid():
+    reqs, keys = _requests()
+    return dict(zip(keys, evaluate_many(reqs)))
+
+
+def test_dist_scaling_table(grid):
+    lines = ["TFluxDist scaling (6 kernels/node; best unroll)"]
+    lines.append(f"{'bench':>12s} " + " ".join(f"{n:>2d} node" for n in NODES))
+    for bench in BENCHES:
+        row = " ".join(f"{grid[(bench, n)].speedup:7.2f}" for n in NODES)
+        lines.append(f"{bench:>12s} {row}")
+    ev = grid[("fft-starved", 4)]
+    lines.append(
+        f"{'fft@starved':>12s} {ev.speedup:7.2f}  "
+        f"(link {STARVED.bytes_per_cycle} B/cycle, "
+        f"{ev.result.counters['net.bytes_forwarded']:,d} B forwarded)"
+    )
+    report("\n".join(lines))
+
+
+@pytest.mark.parametrize("bench", BENCHES)
+def test_speedup_grows_with_nodes(grid, bench):
+    series = [grid[(bench, n)].speedup for n in NODES]
+    assert series[1] > series[0] * 1.15, f"{bench}: 2 nodes buy nothing {series}"
+    assert series[2] > series[1] * 1.15, f"{bench}: 4 nodes buy nothing {series}"
+
+
+@pytest.mark.parametrize("bench", ("trapez", "fft"))
+def test_remote_updates_appear_with_second_node(grid, bench):
+    """Both benches with inter-thread arcs (chunk→reduce, rows→cols→…)
+    start paying remote Ready-Count updates the moment a second node
+    owns part of the graph.  One node never touches the network."""
+    one = grid[(bench, 1)].result.counters
+    assert one.get("net.remote_updates", 0) == 0
+    assert one.get("net.messages", 0) == 0
+    for n in (2, 4):
+        c = grid[(bench, n)].result.counters
+        assert c["net.remote_updates"] > 0, f"{bench}@{n}"
+        assert c["net.msg.ready_update"] > 0, f"{bench}@{n}"
+
+
+def test_mmult_is_control_plane_only(grid):
+    """MMULT's compute threads are fully independent (the paper's §6.1.2
+    sequential-prologue discussion): multi-node runs broadcast block
+    inlets and the termination barrier but never a Ready-Count update."""
+    c = grid[("mmult", 2)].result.counters
+    assert c["net.msg.inlet_bcast"] >= 1
+    assert c["net.msg.terminate"] == 1
+    assert c["net.remote_updates"] == 0
+
+
+def test_fft_forwards_data_and_mmult_does_not(grid):
+    """FFT's row threads read rows written by the previous stage on other
+    nodes; MMULT's inputs are prologue-written (owner-less, replicated
+    everywhere), so only FFT pays the data plane."""
+    for n in (2, 4):
+        assert grid[("fft", n)].result.counters["net.bytes_forwarded"] > 0
+        assert grid[("mmult", n)].result.counters["net.bytes_forwarded"] == 0
+
+
+def test_forwarded_volume_grows_with_nodes(grid):
+    """More nodes ⇒ more cross-node producer/consumer pairs for FFT."""
+    c2 = grid[("fft", 2)].result.counters["net.bytes_forwarded"]
+    c4 = grid[("fft", 4)].result.counters["net.bytes_forwarded"]
+    assert c4 > c2
+
+
+def test_starved_link_collapses_fft_scaling(grid):
+    """When forwarded bytes dominate link bandwidth, the 4-node speedup
+    collapses: the starved run loses most of the scaling and lands at or
+    below the 2-node healthy run."""
+    healthy = grid[("fft", 4)]
+    starved = grid[("fft-starved", 4)]
+    assert starved.result.counters["net.bytes_forwarded"] > 0
+    assert starved.speedup < 0.6 * healthy.speedup
+    assert starved.speedup < grid[("fft", 2)].speedup

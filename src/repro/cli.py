@@ -6,6 +6,8 @@ Examples::
     tflux-run mmult --platform cell --kernels 6 --size small --unroll 64
     tflux-run qsort --platform soft --kernels 6 --sweep --jobs 4
     tflux-run susan --platform hard --sweep --cache-dir ~/.cache/tflux
+    tflux-run fft --platform dist --nodes 4 --size small
+    tflux-run trapez --platform dist --sweep         # sweeps --nodes
 
 ``--jobs`` and ``--cache-dir`` are command-line spellings of the
 ``TFLUX_JOBS`` / ``TFLUX_CACHE_DIR`` knobs (see docs/simulation.md,
@@ -19,7 +21,7 @@ import os
 
 from repro.apps import BENCHMARKS, problem_sizes
 from repro.exec import ENV_CACHE_DIR, ENV_JOBS, EvalRequest, evaluate_many
-from repro.platforms import TFluxCell, TFluxHard, TFluxSoft
+from repro.platforms import TFluxCell, TFluxDist, TFluxHard, TFluxSoft
 
 __all__ = ["main"]
 
@@ -27,7 +29,15 @@ _PLATFORMS = {
     "hard": TFluxHard,
     "soft": TFluxSoft,
     "cell": TFluxCell,
+    "dist": TFluxDist,
 }
+
+
+def _ladder(maximum: int, rungs: tuple[int, ...] = (2, 4, 8, 16)) -> list[int]:
+    """The sweep ladder: the standard *rungs* that fit under *maximum*,
+    plus *maximum* itself, deduplicated and sorted (a platform whose max
+    coincides with a rung — e.g. 16 kernels — must not be run twice)."""
+    return sorted({r for r in rungs if r <= maximum} | {maximum})
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -40,7 +50,15 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--size", choices=("small", "medium", "large"), default="small")
     parser.add_argument("--unroll", type=int, default=0, help="0 = best over grid")
     parser.add_argument(
-        "--sweep", action="store_true", help="sweep kernel counts 2..max"
+        "--nodes",
+        type=int,
+        default=0,
+        help="message-passing nodes (dist platform only; 0 = platform default)",
+    )
+    parser.add_argument(
+        "--sweep",
+        action="store_true",
+        help="sweep kernel counts 2..max (node counts 1..max on dist)",
     )
     parser.add_argument(
         "--jobs",
@@ -82,38 +100,56 @@ def main(argv: list[str] | None = None) -> int:
     if args.cache_dir is not None:
         os.environ[ENV_CACHE_DIR] = os.path.expanduser(args.cache_dir)
 
-    platform = _PLATFORMS[args.platform]()
+    if args.nodes and args.platform != "dist":
+        parser.error("--nodes is only meaningful with --platform dist")
+    if args.platform == "dist":
+        try:
+            platform = TFluxDist(nnodes=args.nodes) if args.nodes else TFluxDist()
+        except ValueError as exc:
+            parser.error(str(exc))
+    else:
+        platform = _PLATFORMS[args.platform]()
     size = problem_sizes(args.benchmark, platform.target)[args.size]
     unrolls = (args.unroll,) if args.unroll else (1, 2, 4, 8, 16, 32, 64)
 
-    if args.sweep:
-        counts = [k for k in (2, 4, 8, 16, platform.max_kernels) if k <= platform.max_kernels]
-        counts = sorted(set(counts))
+    if args.sweep and args.platform == "dist":
+        # On dist the interesting axis is node count, not kernels within
+        # one node: one TFluxDist per rung, each at its own kernel max
+        # (or the explicit --kernels, where it fits every rung).
+        max_nodes = 63 // platform.node_machine.ncores
+        platforms = [
+            TFluxDist(nnodes=n, costs=platform.costs, net=platform.net)
+            for n in _ladder(max_nodes, rungs=(1, 2, 4))
+        ]
+        cells = [(f"nodes={p.nnodes:<2d} ", p, args.kernels or p.max_kernels)
+                 for p in platforms]
+    elif args.sweep:
+        cells = [("", platform, nk) for nk in _ladder(platform.max_kernels)]
     else:
-        counts = [args.kernels or platform.max_kernels]
+        cells = [("", platform, args.kernels or platform.max_kernels)]
 
     print(f"{args.benchmark.upper()} ({size}) on {platform.name}")
     requests = [
         EvalRequest(
-            platform=platform,
+            platform=p,
             bench=args.benchmark,
             size=size,
             nkernels=nk,
             unrolls=unrolls,
         )
-        for nk in counts
+        for _, p, nk in cells
     ]
     try:
         evaluations = evaluate_many(requests)
-        for ev in evaluations:
-            print(f"  {ev.row()}")
+        for (label, _, _), ev in zip(cells, evaluations):
+            print(f"  {label}{ev.row()}")
         if args.trace_out:
-            _write_trace(args.trace_out, platform, args.benchmark, size,
+            _write_trace(args.trace_out, cells[0][1], args.benchmark, size,
                          evaluations[0])
         if args.check_native:
             _check_native(args.benchmark, size, evaluations[0])
         if args.profile:
-            _profile(platform, args.benchmark, size, evaluations[0])
+            _profile(cells[0][1], args.benchmark, size, evaluations[0])
     except (ValueError, MemoryError) as exc:
         import sys
 

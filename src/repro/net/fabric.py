@@ -1,0 +1,172 @@
+"""Point-to-point fabric: NIC + link occupancy on the DES engine.
+
+One :class:`Network` connects the N nodes of a TFluxDist machine with a
+full mesh of directed links.  The model follows the split established by
+:mod:`repro.sim.interconnect`:
+
+* **control messages** (:meth:`Network.transmit`) are DES processes.  A
+  message first occupies the sender's NIC TX port (fixed per-message
+  overhead plus serialisation at line rate), then the directed link for
+  its serialisation time, then propagates for the link latency.  Both the
+  NIC and each link are FIFO :class:`~repro.sim.engine.Resource`\\ s, so
+  bursts of remote Ready-Count updates queue and the contention shows up
+  in cycle counts — with the same uncontended fast path (``try_acquire``
+  + ``release_at``) the system bus uses, so cheap runs stay cheap.
+* **bulk data** (:meth:`Network.pull`) is accounted analytically: the
+  destination's RX ingest is a FIFO clock, not an event source.  A
+  DThread that must pull operand lines from remote owners stalls for
+  the link latency plus its position in the RX ingest queue — bandwidth
+  contention without per-line DES events, mirroring how the cache models
+  price ordinary load/store traffic.
+
+All traffic lands in ``net.*`` counters via :meth:`publish_counters`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Generator, Mapping, Optional, Tuple
+
+from repro.net.message import Message, MsgKind, NetParams
+from repro.sim.engine import Engine, Resource, fastpath_enabled
+
+__all__ = ["Network"]
+
+
+class Network:
+    """A full mesh of directed links between *nnodes* nodes."""
+
+    def __init__(self, engine: Engine, nnodes: int, params: NetParams) -> None:
+        if nnodes < 1:
+            raise ValueError(f"need at least one node, got {nnodes}")
+        self.engine = engine
+        self.nnodes = nnodes
+        self.params = params
+        self._fast = fastpath_enabled()
+        self._nic_tx: list[Resource] = [
+            Resource(engine, capacity=1, name=f"nic-tx:{n}") for n in range(nnodes)
+        ]
+        # Directed links are created lazily: a contiguous placement on a
+        # chain-shaped graph only ever uses a few of the n*(n-1) pairs.
+        self._links: Dict[Tuple[int, int], Resource] = {}
+        #: Per-node RX ingest clock for the analytic data plane: the time
+        #: at which the node's NIC RX port next becomes free.
+        self._rx_free: list[float] = [0.0] * nnodes
+
+        # -- counters (plain ints on the hot path; see repro.obs) --------
+        self.messages = 0
+        self.msg_by_kind: Dict[str, int] = {}
+        self.control_bytes = 0
+        self.nic_busy_cycles = 0
+        self.link_busy_cycles = 0
+        self.bytes_forwarded = 0
+        self.data_pulls = 0
+        self.data_stall_cycles = 0
+
+    # -- control plane ----------------------------------------------------
+    def _link(self, src: int, dst: int) -> Resource:
+        key = (src, dst)
+        link = self._links.get(key)
+        if link is None:
+            link = Resource(self.engine, capacity=1, name=f"link:{src}->{dst}")
+            self._links[key] = link
+        return link
+
+    def _occupy(self, resource: Resource, hold: int) -> Generator:
+        """Hold *resource* for *hold* cycles (SystemBus-style fast path)."""
+        if hold <= 0:
+            return
+        if self._fast and resource.try_acquire():
+            resource.release_at(self.engine.now + hold)
+            yield hold
+            return
+        grant = resource.request()
+        yield grant
+        try:
+            yield hold
+        finally:
+            resource.release()
+
+    def transmit(
+        self,
+        msg: Message,
+        on_deliver: Optional[Callable[[Message], None]] = None,
+    ) -> None:
+        """Send *msg*; *on_deliver* runs at the destination on arrival.
+
+        Fire-and-forget from the sender's perspective (DDM Ready-Count
+        updates need no reply); callers that want an acknowledgement send
+        an explicit :attr:`~repro.net.message.MsgKind.ACK` back from
+        their ``on_deliver``.
+        """
+        if not (0 <= msg.src < self.nnodes and 0 <= msg.dst < self.nnodes):
+            raise ValueError(f"message {msg.src}->{msg.dst} outside {self.nnodes} nodes")
+        self.engine.process(
+            self._transmit_proc(msg, on_deliver),
+            name=f"net:{msg.kind.value}:{msg.src}->{msg.dst}",
+        )
+
+    def _transmit_proc(
+        self, msg: Message, on_deliver: Optional[Callable[[Message], None]]
+    ) -> Generator:
+        params = self.params
+        size = params.message_header_bytes + msg.payload_bytes
+        serialize = params.serialize_cycles(size)
+        nic_hold = params.nic_overhead_cycles + serialize
+        yield from self._occupy(self._nic_tx[msg.src], nic_hold)
+        yield from self._occupy(self._link(msg.src, msg.dst), serialize)
+        if params.link_latency_cycles > 0:
+            yield params.link_latency_cycles
+        self.messages += 1
+        kind = msg.kind.value
+        self.msg_by_kind[kind] = self.msg_by_kind.get(kind, 0) + 1
+        self.control_bytes += size
+        self.nic_busy_cycles += nic_hold
+        self.link_busy_cycles += serialize
+        if on_deliver is not None:
+            on_deliver(msg)
+
+    # -- data plane -------------------------------------------------------
+    def pull(self, dst: int, per_src_bytes: Mapping[int, int]) -> int:
+        """Cycles node *dst* stalls pulling operand bytes from remote owners.
+
+        Each source's transfer serialises through *dst*'s NIC RX in FIFO
+        order against earlier pulls (the ingest clock ``_rx_free``); the
+        pulls from distinct sources ride distinct links, so only the
+        latency of the *first* and the ingest of the *total* matter.
+        """
+        total = 0
+        for src, nbytes in per_src_bytes.items():
+            if nbytes <= 0:
+                continue
+            if not 0 <= src < self.nnodes or src == dst:
+                raise ValueError(f"bad pull source {src} for node {dst}")
+            total += nbytes
+            self.data_pulls += 1
+            self.msg_by_kind[MsgKind.DATA_FORWARD.value] = (
+                self.msg_by_kind.get(MsgKind.DATA_FORWARD.value, 0) + 1
+            )
+        if total == 0:
+            return 0
+        self.bytes_forwarded += total
+        now = self.engine.now
+        serialize = self.params.serialize_cycles(total)
+        start = now if self._rx_free[dst] <= now else self._rx_free[dst]
+        end = start + serialize
+        self._rx_free[dst] = end
+        stall = int(end - now) + self.params.link_latency_cycles
+        self.data_stall_cycles += stall
+        return stall
+
+    # -- reporting --------------------------------------------------------
+    def publish_counters(self, counters) -> None:
+        net = counters.scope("net")
+        net.inc("messages", self.messages)
+        net.inc("control_bytes", self.control_bytes)
+        net.inc("nic_busy_cycles", self.nic_busy_cycles)
+        net.inc("link_busy_cycles", self.link_busy_cycles)
+        net.inc("bytes_forwarded", self.bytes_forwarded)
+        net.inc("data_pulls", self.data_pulls)
+        net.inc("data_stall_cycles", self.data_stall_cycles)
+        msg = net.scope("msg")
+        for kind, count in sorted(self.msg_by_kind.items()):
+            msg.inc(kind, count)

@@ -1,0 +1,97 @@
+"""Line-granular cross-node ownership: who must forward what to whom.
+
+In TFluxDist every node is a TFluxSoft-style shared-memory machine, but
+*between* nodes there is no coherence — a DThread scheduled on node B that
+reads lines last written by a DThread on node A must have those lines
+forwarded over the network.  The apps already declare exactly what every
+DThread touches (:class:`~repro.sim.accesses.AccessSummary`), so the owner
+map replays those declarations at cache-line granularity:
+
+* a **write** makes the writing node the owner of the line and invalidates
+  every other node's copy;
+* a **read** of a line owned elsewhere (and not already copied here) pulls
+  the line from its owner — the map returns per-owner byte totals that the
+  caller prices through :meth:`repro.net.fabric.Network.pull` — and
+  records the copy so re-reads are free until the next remote write.
+
+Lines never written by any DThread (owner ``-1``) are program inputs
+materialised by the prologue; TFluxDist replicates those to every node at
+load time, so reading them is free.  With one node nothing is ever
+remote, which keeps the 1-node differential exact.
+
+State is vectorised NumPy per region (an ``int8`` owner and a ``uint64``
+copy-set bitmask per line), following :mod:`repro.sim.fastcache` — which
+also caps the bitmask at 63 nodes, far above any machine modelled here.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable
+
+import numpy as np
+
+from repro.sim.accesses import AccessSummary, Region
+
+__all__ = ["RegionOwnerMap"]
+
+
+class RegionOwnerMap:
+    """Per-line writer tracking across the nodes of one TFluxDist run."""
+
+    def __init__(self, regions: Iterable[Region], line_size: int, nnodes: int) -> None:
+        if line_size <= 0:
+            raise ValueError(f"line size must be positive, got {line_size}")
+        if not 1 <= nnodes <= 63:
+            raise ValueError(f"owner bitmask supports 1..63 nodes, got {nnodes}")
+        self.line_size = line_size
+        self.nnodes = nnodes
+        self._owner: Dict[str, np.ndarray] = {}
+        self._copies: Dict[str, np.ndarray] = {}
+        for region in regions:
+            nlines = region.lines(line_size)
+            self._owner[region.name] = np.full(nlines, -1, dtype=np.int8)
+            self._copies[region.name] = np.zeros(nlines, dtype=np.uint64)
+
+    def access(self, node: int, summary: AccessSummary) -> Dict[int, int]:
+        """Apply *summary* as executed on *node*; return pull sizes.
+
+        The result maps owner node → bytes that must be forwarded to
+        *node* before the DThread can run.  Ops are replayed in summary
+        order, so a thread that writes then re-reads its own output pulls
+        nothing.
+        """
+        if not 0 <= node < self.nnodes:
+            raise ValueError(f"node {node} outside 0..{self.nnodes - 1}")
+        pulls: Dict[int, int] = {}
+        mybit = np.uint64(1 << node)
+        for op in summary:
+            owner = self._owner.get(op.region.name)
+            if owner is None:
+                # Region declared after map construction (never happens
+                # for built programs, whose env is frozen at build time).
+                nlines = op.region.lines(self.line_size)
+                owner = self._owner[op.region.name] = np.full(nlines, -1, dtype=np.int8)
+                self._copies[op.region.name] = np.zeros(nlines, dtype=np.uint64)
+            copies = self._copies[op.region.name]
+            lines = op.line_indices(self.line_size)
+            idx = (
+                slice(lines.start, lines.stop)
+                if isinstance(lines, range)
+                else np.asarray(lines, dtype=np.intp)
+            )
+            if op.is_write:
+                owner[idx] = node
+                copies[idx] = mybit
+            else:
+                own = owner[idx]
+                remote = (own >= 0) & (own != node) & ((copies[idx] & mybit) == 0)
+                if remote.any():
+                    srcs, counts = np.unique(own[remote], return_counts=True)
+                    for src, count in zip(srcs.tolist(), counts.tolist()):
+                        pulls[src] = pulls.get(src, 0) + count * self.line_size
+                    copies[idx] |= np.where(remote, mybit, np.uint64(0))
+        return pulls
+
+    def lines_owned_by(self, node: int) -> int:
+        """Diagnostic: lines whose last writer is *node*."""
+        return int(sum((o == node).sum() for o in self._owner.values()))

@@ -38,7 +38,9 @@ __all__ = [
 ]
 
 #: Bump whenever the field set of RunRecord or an embedded type changes.
-SCHEMA_VERSION = 1
+#: v2: added ``nnodes`` (TFluxDist) alongside the ``net.*`` counter
+#: namespace.
+SCHEMA_VERSION = 2
 
 
 @dataclass
@@ -146,6 +148,8 @@ class RunRecord:
     counters: Counters
     #: Spans collected by an attached probe (empty unless one was attached).
     spans: list[Span]
+    #: Message-passing nodes of a TFluxDist run (1 on single-node platforms).
+    nnodes: int = 1
     schema_version: int = SCHEMA_VERSION
 
     # -- the paper's derived quantities ------------------------------------
@@ -187,6 +191,7 @@ class RunRecord:
             "program": self.program,
             "platform": self.platform,
             "nkernels": self.nkernels,
+            "nnodes": self.nnodes,
             "cycles": self.cycles,
             "region_cycles": self.region_cycles,
             "wall_seconds": self.wall_seconds,
@@ -232,6 +237,7 @@ class RunRecord:
             memory=CacheStats(**data["memory"]) if data["memory"] else None,
             counters=Counters(data["counters"]),
             spans=[Span(**s) for s in data["spans"]],
+            nnodes=data["nnodes"],
             schema_version=version,
         )
 

@@ -11,11 +11,17 @@ three.
   emulator on a dedicated core (6 compute kernels after the OS core);
 * :class:`~repro.platforms.cellbe.TFluxCell` — PS3 Cell/BE, TSU emulator
   on the PPE, kernels on up to 6 SPEs with Local Stores and DMA.
+
+Beyond the paper, :class:`~repro.platforms.dist.TFluxDist` composes N
+TFluxSoft-style nodes over a simulated message-passing network
+(:mod:`repro.net`) — the §4.1 "multiple TSU Groups" scaling axis taken
+off-chip.
 """
 
 from repro.platforms.base import Platform
 from repro.platforms.hard import TFluxHard
 from repro.platforms.soft import TFluxSoft
 from repro.platforms.cellbe import TFluxCell
+from repro.platforms.dist import TFluxDist
 
-__all__ = ["Platform", "TFluxHard", "TFluxSoft", "TFluxCell"]
+__all__ = ["Platform", "TFluxHard", "TFluxSoft", "TFluxCell", "TFluxDist"]

@@ -1,0 +1,122 @@
+"""TFluxDist: N TFluxSoft-style nodes over a message-passing network.
+
+The paper stops at the cores behind one chip's TSU; §4.1 notes that "for
+systems with very large number of CPUs it may be beneficial to have
+multiple TSU Groups".  :mod:`repro.tsu.multigroup` reproduces that
+on-chip; this platform takes the same scaling axis *off-chip*: each node
+is an 8-core Xeon box of the TFluxSoft kind (one OS core, one TSU
+Emulator core, six Kernels), and the nodes cooperate on one
+Synchronization Graph through :mod:`repro.net` — remote Ready-Count
+updates, block Inlet/Outlet broadcasts and a distributed termination
+barrier travel as messages; operand lines written on one node and read
+on another are forwarded and priced against NIC ingest bandwidth.
+
+Modelling note: the machine handed to the simulator has ``8 * nnodes``
+cores behind one coherent memory model, which prices every access as if
+it were node-local; the network then *adds* the cross-node forwarding
+cost through the adapter's memory hook.  Off-node lines are therefore
+charged the coherent cost plus the wire cost — the right magnitude
+without a second memory model (and exactly zero extra with one node,
+which is what the differential test pins).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.core.program import DDMProgram
+from repro.net.message import NetParams
+from repro.obs import Probe
+from repro.platforms.base import Platform
+from repro.runtime.simdriver import SimulatedRuntime
+from repro.runtime.stats import RunResult
+from repro.sim.engine import Engine
+from repro.sim.machine import MachineConfig, XEON_8
+from repro.tsu.base import ProtocolAdapter
+from repro.tsu.dist import DistTSUAdapter
+from repro.tsu.group import TSUGroup
+from repro.tsu.policy import PlacementPolicy, contiguous_placement
+from repro.tsu.software import SoftTSUCosts
+
+__all__ = ["TFluxDist"]
+
+
+class TFluxDist(Platform):
+    """Up to ``6 * nnodes`` compute kernels across message-passing nodes."""
+
+    target = "N"
+
+    def __init__(
+        self,
+        nnodes: int = 2,
+        machine: MachineConfig = XEON_8,
+        costs: SoftTSUCosts = SoftTSUCosts(),
+        net: NetParams = NetParams(),
+    ) -> None:
+        # FastMemorySystem's sharer bitmask caps total cores at 63.
+        max_nodes = 63 // machine.ncores
+        if not 1 <= nnodes <= max_nodes:
+            raise ValueError(
+                f"nnodes must be in 1..{max_nodes} for {machine.ncores}-core "
+                f"nodes, got {nnodes}"
+            )
+        super().__init__(machine.with_cores(machine.ncores * nnodes), name="tfluxdist")
+        self.nnodes = nnodes
+        self.node_machine = machine
+        self.costs = costs
+        self.net = net
+
+    @property
+    def max_kernels(self) -> int:
+        # Per node: the OS core and the TSU Emulator core are reserved.
+        per_node = self.node_machine.ncores - self.node_machine.os_reserved_cores - 1
+        return per_node * self.nnodes
+
+    def adapter_factory(self) -> Callable[[Engine, TSUGroup], ProtocolAdapter]:
+        nnodes, costs, net = self.nnodes, self.costs, self.net
+        return lambda engine, tsu: DistTSUAdapter(
+            engine, tsu, nnodes=nnodes, costs=costs, net_params=net
+        )
+
+    def execute(
+        self,
+        program: DDMProgram,
+        nkernels: int,
+        tsu_capacity: Optional[int] = None,
+        exact_memory: bool = False,
+        allow_stealing: bool = False,
+        placement: PlacementPolicy = contiguous_placement,
+        tracer: Optional[Probe] = None,
+    ) -> RunResult:
+        if allow_stealing and self.nnodes > 1:
+            raise ValueError(
+                "tfluxdist cannot steal across nodes; use allow_stealing=False"
+            )
+        if nkernels > self.max_kernels:
+            raise ValueError(
+                f"{self.name} offers at most {self.max_kernels} kernels "
+                f"({nkernels} requested)"
+            )
+        if nkernels < self.nnodes:
+            raise ValueError(
+                f"need at least one kernel per node ({self.nnodes} nodes, "
+                f"{nkernels} kernels requested)"
+            )
+        runtime = SimulatedRuntime(
+            program,
+            self.machine,
+            nkernels=nkernels,
+            adapter_factory=self.adapter_factory(),
+            tsu_capacity=tsu_capacity,
+            placement=placement,
+            exact_memory=exact_memory,
+            allow_stealing=allow_stealing,
+            platform_name=self.name,
+            tracer=tracer,
+        )
+        # The adapter is built before the driver's memory system exists;
+        # wire the data plane in now that both are alive.
+        runtime.adapter.attach_memory(
+            runtime.memsys, self.machine.l1.line_size, program.env.regions
+        )
+        return runtime.run()

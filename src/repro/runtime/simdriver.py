@@ -253,6 +253,7 @@ class SimulatedRuntime:
             memory=self.memsys.total_stats(),
             counters=counters,
             spans=list(self.probe.spans),
+            nnodes=getattr(self.adapter, "nnodes", 1),
         )
 
 

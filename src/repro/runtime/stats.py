@@ -44,6 +44,8 @@ class RunResult:
     spans: list[Span] = field(default_factory=list)
     #: Wall-clock seconds for native runs (cycles is 0 there unless set).
     wall_seconds: float = 0.0
+    #: Message-passing nodes of a TFluxDist run (1 everywhere else).
+    nnodes: int = 1
 
     def to_record(self) -> RunRecord:
         """The env-free, schema-versioned telemetry payload of this run."""
@@ -58,6 +60,7 @@ class RunResult:
             memory=self.memory,
             counters=self.counters,
             spans=self.spans,
+            nnodes=self.nnodes,
         )
 
     def speedup_over(self, sequential_cycles: int) -> float:

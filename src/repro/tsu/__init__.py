@@ -23,15 +23,19 @@ ready DThreads to querying Kernels (paper §2, §3.3).
   completions into the TUB; a TSU Emulator thread on a dedicated core
   drains it.
 * :mod:`repro.tsu.multigroup` — the §4.1 multiple-TSU-Groups extension.
+* :mod:`repro.tsu.dist` — the TFluxDist cost adapter: one software-TSU
+  shard per node, remote Ready-Count updates as :mod:`repro.net`
+  messages.
 
 (The TFluxCell cost adapter lives with its substrate in
 :mod:`repro.cell.adapter`.)
 """
 
 from repro.tsu.group import Fetch, FetchKind, TSUGroup
+from repro.tsu.dist import DistTSUAdapter
 from repro.tsu.multigroup import MultiGroupHardwareAdapter
 from repro.tsu.sm import SynchronizationMemory, ThreadEntry
-from repro.tsu.tkt import ThreadToKernelTable
+from repro.tsu.tkt import NodeThreadToKernelTable, ThreadToKernelTable
 from repro.tsu.tub import ThreadUpdateBuffer
 from repro.tsu.policy import contiguous_placement, round_robin_placement
 
@@ -39,9 +43,11 @@ __all__ = [
     "Fetch",
     "FetchKind",
     "TSUGroup",
+    "DistTSUAdapter",
     "MultiGroupHardwareAdapter",
     "SynchronizationMemory",
     "ThreadEntry",
+    "NodeThreadToKernelTable",
     "ThreadToKernelTable",
     "ThreadUpdateBuffer",
     "contiguous_placement",

@@ -117,6 +117,23 @@ def test_from_json_dict_rejects_other_versions():
         RunRecord.from_json_dict(data)
 
 
+def test_v1_payload_is_rejected():
+    """The v2 bump added ``nnodes`` (TFluxDist) and the ``net.*`` counter
+    namespace; a genuine v1 payload — no ``nnodes`` key — must refuse to
+    deserialise rather than default its way into the new field set."""
+    data = _record().to_json_dict()
+    data["schema_version"] = 1
+    del data["nnodes"]
+    with pytest.raises(ValueError, match="schema 1"):
+        RunRecord.from_json_dict(data)
+
+
+def test_nnodes_rides_the_record():
+    rec = _record()  # TFluxHard: every single-node platform records 1
+    assert rec.nnodes == 1
+    assert rec.to_json_dict()["nnodes"] == 1
+
+
 def test_record_derived_quantities():
     rec = _record()
     assert rec.total_dthreads == 4  # the four "work" contexts

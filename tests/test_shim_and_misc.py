@@ -110,6 +110,32 @@ def test_cli_sweep_mode(capsys):
     assert out.count("kernels=") >= 3
 
 
+def test_cli_ladder_dedupes_and_caps():
+    from repro.cli import _ladder
+
+    assert _ladder(27) == [2, 4, 8, 16, 27]
+    assert _ladder(16) == [2, 4, 8, 16]  # max coincides with a rung: once
+    assert _ladder(6) == [2, 4, 6]
+    assert _ladder(1) == [1]
+    assert _ladder(7, rungs=(1, 2, 4)) == [1, 2, 4, 7]
+
+
+def test_cli_dist_platform(capsys):
+    from repro.cli import main
+
+    rc = main(["trapez", "--platform", "dist", "--nodes", "2",
+               "--size", "small", "--unroll", "32", "--kernels", "4"])
+    assert rc == 0
+    assert "tfluxdist" in capsys.readouterr().out
+
+
+def test_cli_nodes_requires_dist(capsys):
+    from repro.cli import main
+
+    with pytest.raises(SystemExit):
+        main(["trapez", "--platform", "soft", "--nodes", "2"])
+
+
 def test_experiments_cmp_rows():
     from repro.analysis.experiments import _cmp_rows
 
