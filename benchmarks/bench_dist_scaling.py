@@ -14,6 +14,14 @@ modelled network.  The shape claims pinned here:
   read-only on every node) forwards none;
 * the scaling collapses when forwarded-data volume dominates link
   bandwidth — FFT on a starved link loses most of its 4-node speedup.
+
+PR 6 widens the sweep past the old 63-core/7-node wall: a second grid
+runs trapez on 1→64 nodes of a clustered fat-tree (hierarchical TSU,
+one cluster head per pod) and pins that speedup **keeps growing beyond
+8 nodes** — the wall was the flat sharer bitmask, not the workload —
+while the same sweep on a thin oversubscribed spine saturates: once the
+pods' shared uplinks carry the cross-pod traffic, ``net.link_queue_cycles``
+explodes and the curve flattens, the modelled bisection-bandwidth limit.
 """
 
 import pytest
@@ -21,7 +29,7 @@ import pytest
 from benchmarks.conftest import FULL, MAX_THREADS, UNROLLS_SOFT, report
 from repro.apps import get_benchmark, problem_sizes
 from repro.exec import EvalRequest, evaluate_many
-from repro.net import NetParams
+from repro.net import FatTree, NetParams, OversubscribedSpine
 from repro.platforms import TFluxDist
 
 BENCHES = ("trapez", "mmult", "fft")
@@ -35,6 +43,63 @@ KERNELS_PER_NODE = 6
 #: A link two orders of magnitude slower than the default 16 B/cycle,
 #: with matching latency: forwarded lines now cost more than they save.
 STARVED = NetParams(link_latency_cycles=4000, bytes_per_cycle=0.05)
+
+# -- the wide (cluster-scale) sweep -------------------------------------------
+#: 1→64 nodes: one pod of 8 per fat-tree tier, one TSU cluster per pod.
+NODES_WIDE = (1, 2, 4, 8, 16, 32, 64)
+POD = 8
+#: The saturation rungs only matter where pods share uplinks.
+NODES_SAT = (8, 16, 32, 64)
+#: A spine thin enough that the shared uplinks become the bottleneck at
+#: this load (32 B/message control traffic, ~8 KB forwarded): 0.5 B/cycle
+#: and a 2000-cycle hop make cross-pod messages queue for millions of
+#: cycles by 16 nodes.
+THIN = NetParams(link_latency_cycles=2000, bytes_per_cycle=0.5)
+#: trapez stays on the *small* grid even under TFLUX_BENCH_FULL: the wide
+#: sweep isolates node-count scaling (384 kernels at 64 nodes need only
+#: enough threads to feed them — small/unroll 8 is 1024), and the large
+#: grid's 16384 threads would blow the unroll past ``max_threads``.
+WIDE_SIZE = "small"
+WIDE_UNROLLS = (8,)
+
+
+def _wide_platform(nodes, topology, net=None):
+    kw = {} if net is None else {"net": net}
+    return TFluxDist(nnodes=nodes, topology=topology, cluster_size=POD, **kw)
+
+
+def _wide_requests():
+    size = problem_sizes("trapez", "N")[WIDE_SIZE]
+    reqs, keys = [], []
+    for nodes in NODES_WIDE:
+        reqs.append(
+            EvalRequest(
+                platform=_wide_platform(nodes, FatTree(pod_size=POD)),
+                bench="trapez",
+                size=size,
+                nkernels=KERNELS_PER_NODE * nodes,
+                unrolls=WIDE_UNROLLS,
+                max_threads=4096,
+            )
+        )
+        keys.append(("fattree", nodes))
+    for nodes in NODES_SAT:
+        reqs.append(
+            EvalRequest(
+                platform=_wide_platform(
+                    nodes,
+                    OversubscribedSpine(pod_size=POD, oversubscription=POD),
+                    net=THIN,
+                ),
+                bench="trapez",
+                size=size,
+                nkernels=KERNELS_PER_NODE * nodes,
+                unrolls=WIDE_UNROLLS,
+                max_threads=4096,
+            )
+        )
+        keys.append(("thin-spine", nodes))
+    return reqs, keys
 
 
 def _requests():
@@ -145,3 +210,93 @@ def test_starved_link_collapses_fft_scaling(grid):
     assert starved.result.counters["net.bytes_forwarded"] > 0
     assert starved.speedup < 0.6 * healthy.speedup
     assert starved.speedup < grid[("fft", 2)].speedup
+
+
+# -- the wide sweep: past the 7-node wall to bisection saturation -------------
+@pytest.fixture(scope="module")
+def wide():
+    reqs, keys = _wide_requests()
+    return dict(zip(keys, evaluate_many(reqs)))
+
+
+def test_wide_scaling_table(wide):
+    lines = [
+        "TFluxDist cluster-scale sweep "
+        f"(trapez/{WIDE_SIZE}, unroll {WIDE_UNROLLS[0]}, pod/cluster {POD})"
+    ]
+    lines.append(f"{'topology':>12s} " + " ".join(f"{n:>7d}" for n in NODES_WIDE))
+    row = " ".join(f"{wide[('fattree', n)].speedup:7.2f}" for n in NODES_WIDE)
+    lines.append(f"{'fattree':>12s} {row}")
+    pad = " " * 8 * (len(NODES_WIDE) - len(NODES_SAT))
+    row = " ".join(f"{wide[('thin-spine', n)].speedup:7.2f}" for n in NODES_SAT)
+    lines.append(f"{'thin-spine':>12s} {pad}{row}")
+    q = wide[("thin-spine", NODES_SAT[-1])].result.counters["net.link_queue_cycles"]
+    lines.append(f"(thin spine at 64 nodes queued {q:,d} cycles on shared uplinks)")
+    report("\n".join(lines))
+
+
+def test_speedup_grows_past_the_old_wall(wide):
+    """The old 7-node ceiling was the flat 63-core sharer bitmask, not a
+    property of the workload: on the two-level directory the fat-tree
+    sweep keeps buying speedup at 16, 32 and 64 nodes (measured ~24 →
+    ~30 → ~35 → ~37; margins pinned well below that)."""
+    s = {n: wide[("fattree", n)].speedup for n in NODES_WIDE}
+    for lo, hi in zip(NODES_WIDE, NODES_WIDE[1:]):
+        assert s[hi] > s[lo], f"{hi} nodes regressed: {s}"
+    assert s[16] > 1.15 * s[8], s
+    assert s[32] > 1.08 * s[16], s
+    assert s[64] > 1.02 * s[32], s
+
+
+def test_hier_tsu_relays_beyond_one_cluster(wide):
+    """Up to one pod (8 nodes) the cluster head has nobody to relay for;
+    past it, cross-cluster Ready-Count traffic goes via the heads."""
+    for n in NODES_WIDE:
+        relayed = wide[("fattree", n)].result.counters.get("net.relayed_messages", 0)
+        if n <= POD:
+            assert relayed == 0, f"{n} nodes: unexpected relays"
+        else:
+            assert relayed > 0, f"{n} nodes: hierarchy never engaged"
+
+
+def test_thin_spine_saturates_bisection_bandwidth(wide):
+    """On the oversubscribed spine the shared uplinks are the bisection:
+    queueing grows superlinearly with the node count and the speedup
+    curve flattens then sags (measured ~11 → ~7 → ~6.6 → ~5.8), while
+    the full fat-tree at 64 nodes stays several times faster."""
+    s = {n: wide[("thin-spine", n)].speedup for n in NODES_SAT}
+    q = {
+        n: wide[("thin-spine", n)].result.counters["net.link_queue_cycles"]
+        for n in NODES_SAT
+    }
+    assert s[16] < s[8], s  # saturation bites before 16 nodes
+    assert s[64] < 1.05 * s[32], s  # ... and the curve has flattened
+    for lo, hi in zip(NODES_SAT, NODES_SAT[1:]):
+        assert q[hi] > q[lo], q
+    assert q[16] > 4 * q[8], q
+    assert wide[("fattree", 64)].speedup > 3 * s[64]
+
+
+def test_dist_scaling_smoke_16_nodes():
+    """CI smoke: one 16-node clustered fat-tree cell, no grid fixture.
+
+    Selected by name in the workflow's ``dist-scaling-smoke`` step; keeps
+    the cluster-scale path (hier TSU + topology pricing + wide directory)
+    exercised in seconds."""
+    ev = evaluate_many(
+        [
+            EvalRequest(
+                platform=_wide_platform(16, FatTree(pod_size=POD)),
+                bench="trapez",
+                size=problem_sizes("trapez", "N")[WIDE_SIZE],
+                nkernels=KERNELS_PER_NODE * 16,
+                unrolls=WIDE_UNROLLS,
+                max_threads=4096,
+            )
+        ]
+    )[0]
+    assert ev.speedup > 20  # measured ~30 on 16 nodes
+    c = ev.result.counters
+    assert c["net.relayed_messages"] > 0
+    assert c["net.hops"] > 0
+    assert ev.result.topology == f"fattree(pod={POD},up={POD})"

@@ -21,7 +21,9 @@ import os
 
 from repro.apps import BENCHMARKS, problem_sizes
 from repro.exec import ENV_CACHE_DIR, ENV_JOBS, EvalRequest, evaluate_many
+from repro.net.topology import FatTree, OversubscribedSpine
 from repro.platforms import TFluxCell, TFluxDist, TFluxHard, TFluxSoft
+from repro.sim.capability import MAX_CORES, MAX_NODES
 
 __all__ = ["main"]
 
@@ -54,6 +56,22 @@ def main(argv: list[str] | None = None) -> int:
         type=int,
         default=0,
         help="message-passing nodes (dist platform only; 0 = platform default)",
+    )
+    parser.add_argument(
+        "--topology",
+        choices=("mesh", "fattree", "spine"),
+        default="mesh",
+        help="fabric wiring between dist nodes (mesh = dedicated pairwise "
+        "links; fattree = pods of 8 with full bisection; spine = pods of 8 "
+        "behind a 4:1 oversubscribed spine)",
+    )
+    parser.add_argument(
+        "--cluster",
+        type=int,
+        default=0,
+        metavar="SIZE",
+        help="relay TSU fan-out through cluster heads of SIZE nodes "
+        "(dist platform only; 0 = flat point-to-point fan-out)",
     )
     parser.add_argument(
         "--sweep",
@@ -102,9 +120,23 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.nodes and args.platform != "dist":
         parser.error("--nodes is only meaningful with --platform dist")
+    if args.cluster and args.platform != "dist":
+        parser.error("--cluster is only meaningful with --platform dist")
+    if args.topology != "mesh" and args.platform != "dist":
+        parser.error("--topology is only meaningful with --platform dist")
     if args.platform == "dist":
+        topology = {
+            "mesh": None,
+            "fattree": FatTree(pod_size=8),
+            "spine": OversubscribedSpine(pod_size=8),
+        }[args.topology]
+        cluster = args.cluster or None
         try:
-            platform = TFluxDist(nnodes=args.nodes) if args.nodes else TFluxDist()
+            # DirectoryCapacityError (a ValueError) surfaces the two-level
+            # directory limits — 64 nodes x 64 cores — in the CLI error.
+            platform = TFluxDist(
+                nnodes=args.nodes or 2, topology=topology, cluster_size=cluster
+            )
         except ValueError as exc:
             parser.error(str(exc))
     else:
@@ -116,10 +148,16 @@ def main(argv: list[str] | None = None) -> int:
         # On dist the interesting axis is node count, not kernels within
         # one node: one TFluxDist per rung, each at its own kernel max
         # (or the explicit --kernels, where it fits every rung).
-        max_nodes = 63 // platform.node_machine.ncores
+        max_nodes = min(MAX_NODES, MAX_CORES // platform.node_machine.ncores)
         platforms = [
-            TFluxDist(nnodes=n, costs=platform.costs, net=platform.net)
-            for n in _ladder(max_nodes, rungs=(1, 2, 4))
+            TFluxDist(
+                nnodes=n,
+                costs=platform.costs,
+                net=platform.net,
+                topology=platform.topology,
+                cluster_size=platform.cluster_size,
+            )
+            for n in _ladder(max_nodes, rungs=(1, 2, 4, 8))
         ]
         cells = [(f"nodes={p.nnodes:<2d} ", p, args.kernels or p.max_kernels)
                  for p in platforms]

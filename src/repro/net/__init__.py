@@ -31,5 +31,16 @@ top of this; ``net.*`` counters surface all traffic through
 from repro.net.message import Message, MsgKind, NetParams
 from repro.net.fabric import Network
 from repro.net.ownermap import RegionOwnerMap
+from repro.net.topology import FatTree, FullMesh, OversubscribedSpine, Topology
 
-__all__ = ["Message", "MsgKind", "NetParams", "Network", "RegionOwnerMap"]
+__all__ = [
+    "Message",
+    "MsgKind",
+    "NetParams",
+    "Network",
+    "RegionOwnerMap",
+    "Topology",
+    "FullMesh",
+    "FatTree",
+    "OversubscribedSpine",
+]

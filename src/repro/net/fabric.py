@@ -19,35 +19,58 @@ full mesh of directed links.  The model follows the split established by
   contention without per-line DES events, mirroring how the cache models
   price ordinary load/store traffic.
 
-All traffic lands in ``net.*`` counters via :meth:`publish_counters`.
+The wiring between the nodes is a :class:`~repro.net.topology.Topology`:
+it maps each (src, dst) pair to the ordered links crossed, the control
+plane occupies one DES resource per link with the propagation latency
+paid per hop (store-and-forward), and the data plane serialises through
+an analytic FIFO clock per *shared* link — so a fat-tree's pod uplinks
+congest while the default :class:`~repro.net.topology.FullMesh`
+reproduces the historical single-link cycle counts exactly.
+
+All traffic lands in ``net.*`` counters via :meth:`publish_counters`,
+including per-hop congestion: ``net.hops`` (total link crossings) and
+``net.link_queue_cycles`` (cycles spent queued behind other traffic at
+NICs and shared links).
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Generator, Mapping, Optional, Tuple
+from typing import Callable, Dict, Generator, Mapping, Optional
 
 from repro.net.message import Message, MsgKind, NetParams
+from repro.net.topology import FullMesh, LinkId, Topology
 from repro.sim.engine import Engine, Resource, fastpath_enabled
 
 __all__ = ["Network"]
 
 
 class Network:
-    """A full mesh of directed links between *nnodes* nodes."""
+    """*nnodes* nodes wired by a :class:`Topology` (default full mesh)."""
 
-    def __init__(self, engine: Engine, nnodes: int, params: NetParams) -> None:
+    def __init__(
+        self,
+        engine: Engine,
+        nnodes: int,
+        params: NetParams,
+        topology: Optional[Topology] = None,
+    ) -> None:
         if nnodes < 1:
             raise ValueError(f"need at least one node, got {nnodes}")
         self.engine = engine
         self.nnodes = nnodes
         self.params = params
+        self.topology = topology if topology is not None else FullMesh()
+        self.topology.validate(nnodes)
         self._fast = fastpath_enabled()
         self._nic_tx: list[Resource] = [
             Resource(engine, capacity=1, name=f"nic-tx:{n}") for n in range(nnodes)
         ]
-        # Directed links are created lazily: a contiguous placement on a
-        # chain-shaped graph only ever uses a few of the n*(n-1) pairs.
-        self._links: Dict[Tuple[int, int], Resource] = {}
+        # Link resources are created lazily: a contiguous placement on a
+        # chain-shaped graph only ever uses a few of the possible links.
+        self._links: Dict[LinkId, Resource] = {}
+        #: Analytic FIFO clocks for the data plane's shared links (pod
+        #: uplinks): the time each next becomes free.
+        self._link_free: Dict[LinkId, float] = {}
         #: Per-node RX ingest clock for the analytic data plane: the time
         #: at which the node's NIC RX port next becomes free.
         self._rx_free: list[float] = [0.0] * nnodes
@@ -61,13 +84,14 @@ class Network:
         self.bytes_forwarded = 0
         self.data_pulls = 0
         self.data_stall_cycles = 0
+        self.hops = 0
+        self.link_queue_cycles = 0
 
     # -- control plane ----------------------------------------------------
-    def _link(self, src: int, dst: int) -> Resource:
-        key = (src, dst)
+    def _link(self, key: LinkId) -> Resource:
         link = self._links.get(key)
         if link is None:
-            link = Resource(self.engine, capacity=1, name=f"link:{src}->{dst}")
+            link = Resource(self.engine, capacity=1, name=f"link:{key}")
             self._links[key] = link
         return link
 
@@ -79,8 +103,10 @@ class Network:
             resource.release_at(self.engine.now + hold)
             yield hold
             return
+        queued_at = self.engine.now
         grant = resource.request()
         yield grant
+        self.link_queue_cycles += int(self.engine.now - queued_at)
         try:
             yield hold
         finally:
@@ -113,15 +139,21 @@ class Network:
         serialize = params.serialize_cycles(size)
         nic_hold = params.nic_overhead_cycles + serialize
         yield from self._occupy(self._nic_tx[msg.src], nic_hold)
-        yield from self._occupy(self._link(msg.src, msg.dst), serialize)
-        if params.link_latency_cycles > 0:
-            yield params.link_latency_cycles
+        # Store-and-forward: each hop re-serialises onto its link and pays
+        # the propagation latency.  A FullMesh path is one link — exactly
+        # the historical occupy-then-propagate sequence.
+        path = self.topology.control_path(msg.src, msg.dst)
+        for key in path:
+            yield from self._occupy(self._link(key), serialize)
+            if params.link_latency_cycles > 0:
+                yield params.link_latency_cycles
         self.messages += 1
         kind = msg.kind.value
         self.msg_by_kind[kind] = self.msg_by_kind.get(kind, 0) + 1
         self.control_bytes += size
         self.nic_busy_cycles += nic_hold
-        self.link_busy_cycles += serialize
+        self.link_busy_cycles += serialize * len(path)
+        self.hops += len(path)
         if on_deliver is not None:
             on_deliver(msg)
 
@@ -130,11 +162,19 @@ class Network:
         """Cycles node *dst* stalls pulling operand bytes from remote owners.
 
         Each source's transfer serialises through *dst*'s NIC RX in FIFO
-        order against earlier pulls (the ingest clock ``_rx_free``); the
-        pulls from distinct sources ride distinct links, so only the
-        latency of the *first* and the ingest of the *total* matter.
+        order against earlier pulls (the ingest clock ``_rx_free``); on
+        the way there it also serialises through any *shared* fabric
+        links on its path (a fat-tree's pod uplinks) against all other
+        traffic crossing them — the topology's bisection bandwidth.
+        Dedicated-per-pair links (the whole FullMesh) never queue, so
+        only the latency of the *first* hop chain and the ingest of the
+        *total* matter there, exactly the historical model.
         """
         total = 0
+        now = self.engine.now
+        link_done = now
+        max_hops = 1
+        queued = 0
         for src, nbytes in per_src_bytes.items():
             if nbytes <= 0:
                 continue
@@ -145,16 +185,36 @@ class Network:
             self.msg_by_kind[MsgKind.DATA_FORWARD.value] = (
                 self.msg_by_kind.get(MsgKind.DATA_FORWARD.value, 0) + 1
             )
+            hops = self.topology.hops(src, dst)
+            if hops > max_hops:
+                max_hops = hops
+            self.hops += hops
+            shared = self.topology.data_path(src, dst)
+            if shared:
+                ser = self.params.serialize_cycles(nbytes)
+                t = now
+                for key in shared:
+                    free = self._link_free.get(key, 0.0)
+                    start = free if free > t else t
+                    queued += int(start - t)
+                    t = start + ser
+                    self._link_free[key] = t
+                if t > link_done:
+                    link_done = t
         if total == 0:
             return 0
         self.bytes_forwarded += total
-        now = self.engine.now
         serialize = self.params.serialize_cycles(total)
         start = now if self._rx_free[dst] <= now else self._rx_free[dst]
         end = start + serialize
+        if link_done > end:
+            # The RX port cannot finish ingesting before the last shared
+            # link on the way has drained the transfer.
+            end = link_done
         self._rx_free[dst] = end
-        stall = int(end - now) + self.params.link_latency_cycles
+        stall = int(end - now) + max_hops * self.params.link_latency_cycles
         self.data_stall_cycles += stall
+        self.link_queue_cycles += queued
         return stall
 
     # -- reporting --------------------------------------------------------
@@ -167,6 +227,8 @@ class Network:
         net.inc("bytes_forwarded", self.bytes_forwarded)
         net.inc("data_pulls", self.data_pulls)
         net.inc("data_stall_cycles", self.data_stall_cycles)
+        net.inc("hops", self.hops)
+        net.inc("link_queue_cycles", self.link_queue_cycles)
         msg = net.scope("msg")
         for kind, count in sorted(self.msg_by_kind.items()):
             msg.inc(kind, count)

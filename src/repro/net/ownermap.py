@@ -20,8 +20,11 @@ load time, so reading them is free.  With one node nothing is ever
 remote, which keeps the 1-node differential exact.
 
 State is vectorised NumPy per region (an ``int8`` owner and a ``uint64``
-copy-set bitmask per line), following :mod:`repro.sim.fastcache` — which
-also caps the bitmask at 63 nodes, far above any machine modelled here.
+copy-set bitmask per line), following :mod:`repro.sim.fastcache`.  One
+word is exactly the node-presence width of the two-level sharer
+directory (:mod:`repro.sim.capability`), so the copy set covers every
+representable machine — up to :data:`~repro.sim.capability.MAX_NODES`
+nodes — without a second level.
 """
 
 from __future__ import annotations
@@ -31,6 +34,7 @@ from typing import Dict, Iterable
 import numpy as np
 
 from repro.sim.accesses import AccessSummary, Region
+from repro.sim.capability import check_nodes
 
 __all__ = ["RegionOwnerMap"]
 
@@ -41,8 +45,7 @@ class RegionOwnerMap:
     def __init__(self, regions: Iterable[Region], line_size: int, nnodes: int) -> None:
         if line_size <= 0:
             raise ValueError(f"line size must be positive, got {line_size}")
-        if not 1 <= nnodes <= 63:
-            raise ValueError(f"owner bitmask supports 1..63 nodes, got {nnodes}")
+        check_nodes(nnodes, what="RegionOwnerMap")
         self.line_size = line_size
         self.nnodes = nnodes
         self._owner: Dict[str, np.ndarray] = {}

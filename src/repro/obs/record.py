@@ -40,7 +40,10 @@ __all__ = [
 #: Bump whenever the field set of RunRecord or an embedded type changes.
 #: v2: added ``nnodes`` (TFluxDist) alongside the ``net.*`` counter
 #: namespace.
-SCHEMA_VERSION = 2
+#: v3: added ``topology`` (the fabric wiring of a TFluxDist run)
+#: alongside the per-hop congestion counters ``net.hops`` /
+#: ``net.link_queue_cycles``.
+SCHEMA_VERSION = 3
 
 
 @dataclass
@@ -150,6 +153,9 @@ class RunRecord:
     spans: list[Span]
     #: Message-passing nodes of a TFluxDist run (1 on single-node platforms).
     nnodes: int = 1
+    #: Fabric wiring of a TFluxDist run, e.g. ``"fullmesh"`` or
+    #: ``"fattree(pod=8,up=8)"`` ("" on single-node platforms).
+    topology: str = ""
     schema_version: int = SCHEMA_VERSION
 
     # -- the paper's derived quantities ------------------------------------
@@ -192,6 +198,7 @@ class RunRecord:
             "platform": self.platform,
             "nkernels": self.nkernels,
             "nnodes": self.nnodes,
+            "topology": self.topology,
             "cycles": self.cycles,
             "region_cycles": self.region_cycles,
             "wall_seconds": self.wall_seconds,
@@ -238,6 +245,7 @@ class RunRecord:
             counters=Counters(data["counters"]),
             spans=[Span(**s) for s in data["spans"]],
             nnodes=data["nnodes"],
+            topology=data["topology"],
             schema_version=version,
         )
 

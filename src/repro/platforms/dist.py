@@ -26,15 +26,18 @@ from typing import Callable, Optional
 
 from repro.core.program import DDMProgram
 from repro.net.message import NetParams
+from repro.net.topology import Topology
 from repro.obs import Probe
 from repro.platforms.base import Platform
 from repro.runtime.simdriver import SimulatedRuntime
 from repro.runtime.stats import RunResult
+from repro.sim.capability import check_nodes
 from repro.sim.engine import Engine
 from repro.sim.machine import MachineConfig, XEON_8
 from repro.tsu.base import ProtocolAdapter
 from repro.tsu.dist import DistTSUAdapter
 from repro.tsu.group import TSUGroup
+from repro.tsu.hier import HierDistTSUAdapter
 from repro.tsu.policy import PlacementPolicy, contiguous_placement
 from repro.tsu.software import SoftTSUCosts
 
@@ -42,7 +45,14 @@ __all__ = ["TFluxDist"]
 
 
 class TFluxDist(Platform):
-    """Up to ``6 * nnodes`` compute kernels across message-passing nodes."""
+    """Up to ``6 * nnodes`` compute kernels across message-passing nodes.
+
+    *topology* selects the fabric wiring (default
+    :class:`~repro.net.topology.FullMesh`); *cluster_size* switches the
+    TSU fan-out to the hierarchical cluster-head relay of
+    :class:`~repro.tsu.hier.HierDistTSUAdapter` (``None`` keeps the flat
+    point-to-point adapter).
+    """
 
     target = "N"
 
@@ -52,19 +62,19 @@ class TFluxDist(Platform):
         machine: MachineConfig = XEON_8,
         costs: SoftTSUCosts = SoftTSUCosts(),
         net: NetParams = NetParams(),
+        topology: Optional[Topology] = None,
+        cluster_size: Optional[int] = None,
     ) -> None:
-        # FastMemorySystem's sharer bitmask caps total cores at 63.
-        max_nodes = 63 // machine.ncores
-        if not 1 <= nnodes <= max_nodes:
-            raise ValueError(
-                f"nnodes must be in 1..{max_nodes} for {machine.ncores}-core "
-                f"nodes, got {nnodes}"
-            )
+        # The fused machine must fit the two-level sharer directory
+        # (64 nodes x 64 cores); one check covers both axes.
+        check_nodes(nnodes, cores_per_node=machine.ncores, what="TFluxDist")
         super().__init__(machine.with_cores(machine.ncores * nnodes), name="tfluxdist")
         self.nnodes = nnodes
         self.node_machine = machine
         self.costs = costs
         self.net = net
+        self.topology = topology
+        self.cluster_size = cluster_size
 
     @property
     def max_kernels(self) -> int:
@@ -74,8 +84,15 @@ class TFluxDist(Platform):
 
     def adapter_factory(self) -> Callable[[Engine, TSUGroup], ProtocolAdapter]:
         nnodes, costs, net = self.nnodes, self.costs, self.net
+        topology, cluster = self.topology, self.cluster_size
+        if cluster is not None:
+            return lambda engine, tsu: HierDistTSUAdapter(
+                engine, tsu, nnodes=nnodes, costs=costs, net_params=net,
+                topology=topology, cluster_size=cluster,
+            )
         return lambda engine, tsu: DistTSUAdapter(
-            engine, tsu, nnodes=nnodes, costs=costs, net_params=net
+            engine, tsu, nnodes=nnodes, costs=costs, net_params=net,
+            topology=topology,
         )
 
     def execute(

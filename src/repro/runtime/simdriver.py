@@ -254,6 +254,11 @@ class SimulatedRuntime:
             counters=counters,
             spans=list(self.probe.spans),
             nnodes=getattr(self.adapter, "nnodes", 1),
+            topology=(
+                net.topology.describe()
+                if (net := getattr(self.adapter, "net", None)) is not None
+                else ""
+            ),
         )
 
 

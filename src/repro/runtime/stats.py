@@ -46,6 +46,8 @@ class RunResult:
     wall_seconds: float = 0.0
     #: Message-passing nodes of a TFluxDist run (1 everywhere else).
     nnodes: int = 1
+    #: Fabric wiring of a TFluxDist run ("" everywhere else).
+    topology: str = ""
 
     def to_record(self) -> RunRecord:
         """The env-free, schema-versioned telemetry payload of this run."""
@@ -61,6 +63,7 @@ class RunResult:
             counters=self.counters,
             spans=self.spans,
             nnodes=self.nnodes,
+            topology=self.topology,
         )
 
     def speedup_over(self, sequential_cycles: int) -> float:

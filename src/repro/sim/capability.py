@@ -1,0 +1,74 @@
+"""Directory-capacity limits of the simulated machines, in one place.
+
+The fast memory model tracks each cache line's sharers with a two-level
+(node, core) directory (:mod:`repro.sim.fastcache`): a per-line
+*node-presence* word — one ``uint64`` bit per group of
+:data:`CORES_PER_NODE` cores — plus one ``uint64`` core mask per node.
+The same scheme backs the cross-node copy-set of
+:class:`~repro.net.ownermap.RegionOwnerMap`.  The representable machine
+is therefore bounded by the presence word's width:
+
+* at most :data:`MAX_NODES` (= 64) directory nodes, and
+* at most :data:`MAX_CORES` (= 64 × 64 = 4096) cores in total.
+
+Everything that composes a machine — platform constructors,
+``tflux-run --nodes`` validation, the memory models themselves — funnels
+through :func:`check_cores` / :func:`check_nodes` so the limit is
+enforced once, with one error message, instead of a scatter of bare
+``ValueError("bitmask ...")`` raises (the pre-directory 63-core wall).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "CORES_PER_NODE",
+    "MAX_NODES",
+    "MAX_CORES",
+    "DirectoryCapacityError",
+    "check_cores",
+    "check_nodes",
+]
+
+#: Width of one per-node core mask (one ``uint64`` word).
+CORES_PER_NODE = 64
+#: Width of the per-line node-presence word (one ``uint64`` word).
+MAX_NODES = 64
+#: Total simulated cores the two-level directory can represent.
+MAX_CORES = MAX_NODES * CORES_PER_NODE
+
+
+class DirectoryCapacityError(ValueError):
+    """A machine larger than the two-level sharer directory can track."""
+
+
+def _limits() -> str:
+    return (
+        f"the two-level sharer directory supports up to {MAX_NODES} nodes "
+        f"x {CORES_PER_NODE} cores ({MAX_CORES} cores total)"
+    )
+
+
+def check_cores(ncores: int, what: str = "machine") -> int:
+    """Validate a total core count against the directory width.
+
+    Returns *ncores* so constructors can use it inline.
+    """
+    if not 1 <= ncores <= MAX_CORES:
+        raise DirectoryCapacityError(
+            f"{what} requests {ncores} cores, but {_limits()}"
+        )
+    return ncores
+
+
+def check_nodes(nnodes: int, cores_per_node: int = 0, what: str = "machine") -> int:
+    """Validate a node count (and optionally the resulting core total).
+
+    Returns *nnodes* so constructors can use it inline.
+    """
+    if not 1 <= nnodes <= MAX_NODES:
+        raise DirectoryCapacityError(
+            f"{what} requests {nnodes} nodes, but {_limits()}"
+        )
+    if cores_per_node > 0:
+        check_cores(nnodes * cores_per_node, what=what)
+    return nnodes

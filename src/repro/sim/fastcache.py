@@ -12,11 +12,24 @@ behaviour but processes each declared range with NumPy array operations:
   ``L1 capacity`` line-touches (i.e. the cache is modelled as fully
   associative with LRU).  The same scheme models each (possibly shared) L2.
 * **Coherence** is exact at line granularity: a per-line ``owner`` array
-  records the core holding the line Modified, and a per-line bitmask
-  records all cores with a valid copy.  Writes invalidate remote copies
-  (upgrade or request-for-ownership), remote-owned reads are classified as
-  cache-to-cache coherence misses — precisely the MMULT "coherency miss"
-  effect the paper discusses in §6.1.2.
+  records the core holding the line Modified, and a **two-level (node,
+  core) directory** records all cores with a valid copy.  Writes
+  invalidate remote copies (upgrade or request-for-ownership),
+  remote-owned reads are classified as cache-to-cache coherence misses —
+  precisely the MMULT "coherency miss" effect the paper discusses in
+  §6.1.2.
+
+Sharer directory layout (see :mod:`repro.sim.capability` for the limits):
+cores are grouped into *directory nodes* of 64 (one ``uint64`` word
+each); per line the directory keeps one core-mask word per node
+(``sharers``, shape ``(nwords, nlines)``) plus a compact *node-presence*
+word (``presence``, one bit per node with any sharer).  Machines of
+≤64 cores need a single word, and every coherence decision then runs on
+exactly one mask array — the flat-bitmask hot path this model has always
+had.  Wider machines (up to 64 nodes × 64 cores) consult the presence
+word first, so sharer-set union, upgrade detection and invalidation
+sweeps stay vectorised numpy ops that only touch nodes that actually
+hold copies.
 
 Latency constants are identical to the exact model, and the test suite
 cross-validates the two models' hit/miss breakdowns on the workload access
@@ -26,13 +39,18 @@ patterns.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
 from repro.sim.accesses import AccessSummary, RegionSpace, _RangeOp
 from repro.sim.cache import CacheConfig, CacheStats, MemoryConfig
+from repro.sim.capability import CORES_PER_NODE, check_cores
 
 __all__ = ["FastMemorySystem"]
+
+#: All 64 bits of one directory word.
+_FULL_WORD = np.uint64(0xFFFFFFFFFFFFFFFF)
 
 
 @dataclass
@@ -42,7 +60,8 @@ class _RegionState:
     l1_last: np.ndarray  # (ncores, nlines) int64, -1 = never
     l2_last: np.ndarray  # (ngroups, nlines) int64, -1 = never
     owner: np.ndarray  # (nlines,) int16, -1 = no modified owner
-    sharers: np.ndarray  # (nlines,) uint64 bitmask of cores with valid copies
+    sharers: np.ndarray  # (nwords, nlines) uint64 per-node core masks
+    presence: np.ndarray  # (nlines,) uint64 node-presence word
 
 
 class FastMemorySystem:
@@ -61,14 +80,29 @@ class FastMemorySystem:
         regions: RegionSpace,
         l2_groups: list[int] | None = None,
         single_issuer: bool = False,
+        directory_words: Optional[int] = None,
     ) -> None:
-        if ncores > 63:
-            raise ValueError("bitmask coherence supports at most 63 cores")
+        check_cores(ncores, what="FastMemorySystem")
         self.ncores = ncores
+        # Directory nodes: 64-core groups, one uint64 core mask each.
+        # *directory_words* forces a wider directory than the core count
+        # needs — the cross-validation tests use it to run the multi-word
+        # code paths on small machines and pin them bit-identical to the
+        # single-word (flat bitmask) fast path.
+        nwords = -(-ncores // CORES_PER_NODE)
+        if directory_words is not None:
+            if directory_words < nwords:
+                raise ValueError(
+                    f"directory_words={directory_words} below the "
+                    f"{nwords} words {ncores} cores need"
+                )
+            nwords = directory_words
+        self._nwords = nwords
         # Declared at construction by the sequential baseline: with one
-        # issuing core the sharer mask and owner array are provably inert
-        # (nothing to invalidate or downgrade), so _sweep may skip them.
-        # Guarded: a second issuing core raises rather than mis-modelling.
+        # issuing core the sharer directory and owner array are provably
+        # inert (nothing to invalidate or downgrade), so _sweep may skip
+        # them.  Guarded: a second issuing core raises rather than
+        # mis-modelling.
         self._single_issuer = single_issuer or ncores == 1
         self._issuer: int | None = None
         self.l1cfg = l1
@@ -88,41 +122,62 @@ class FastMemorySystem:
         self._l2_clock = np.zeros(self.ngroups, dtype=np.int64)
         # Freed-by-invalidation L1 slots per core (see _sweep).
         self._holes = [0] * ncores
-        # Per-core coherence bitmasks, hoisted out of the per-sweep hot
-        # path (uint64 construction is surprisingly costly in a loop).
-        all_cores = (1 << ncores) - 1
-        self._corebit = [np.uint64(1 << c) for c in range(ncores)]
-        self._othermask = [np.uint64(all_cores ^ (1 << c)) for c in range(ncores)]
+        # Per-core coherence masks, hoisted out of the per-sweep hot path
+        # (uint64 construction is surprisingly costly in a loop).  A
+        # core's bit lives in the word of its directory node; its "other
+        # cores of my node" mask covers only cores that exist there.
+        self._word_of = [c // CORES_PER_NODE for c in range(ncores)]
+        self._corebit = [np.uint64(1 << (c % CORES_PER_NODE)) for c in range(ncores)]
+        self._corebit_arr = np.asarray(self._corebit, dtype=np.uint64)
+        self._othermask = []
+        for c in range(ncores):
+            w = self._word_of[c]
+            in_word = min(CORES_PER_NODE, ncores - w * CORES_PER_NODE)
+            word_mask = (1 << in_word) - 1
+            self._othermask.append(np.uint64(word_mask ^ (1 << (c % CORES_PER_NODE))))
+        self._nodebit = [np.uint64(1 << w) for w in range(nwords)]
+        self._othernodes = [
+            np.uint64(((1 << nwords) - 1) ^ (1 << w)) for w in range(nwords)
+        ]
         self._group_of = np.asarray(self.l2_groups, dtype=np.int64)
-        # Reusable 1..k fill-count ramp for the single-core scatter path.
+        # Reusable 1..k fill-count ramp for the single-core scatter path,
+        # and a reusable 0..n-1 line-index ramp for downgrade scatters.
         self._iota = np.arange(1, 1025, dtype=np.int64)
+        self._line_iota = np.arange(1024, dtype=np.int64)
         self._state: dict[str, _RegionState] = {}
         for reg in regions:
-            n = reg.lines(self.line_size)
-            self._state[reg.name] = _RegionState(
-                l1_last=np.full((ncores, n), -1, dtype=np.int64),
-                l2_last=np.full((self.ngroups, n), -1, dtype=np.int64),
-                owner=np.full(n, -1, dtype=np.int16),
-                sharers=np.zeros(n, dtype=np.uint64),
-            )
+            self._state[reg.name] = self._new_region_state(reg.lines(self.line_size))
         self.stats = [CacheStats() for _ in range(ncores)]
         self.bus_transactions = 0
 
     # -- helpers -----------------------------------------------------------
+    def _new_region_state(self, n: int) -> _RegionState:
+        return _RegionState(
+            l1_last=np.full((self.ncores, n), -1, dtype=np.int64),
+            l2_last=np.full((self.ngroups, n), -1, dtype=np.int64),
+            owner=np.full(n, -1, dtype=np.int16),
+            sharers=np.zeros((self._nwords, n), dtype=np.uint64),
+            presence=np.zeros(n, dtype=np.uint64),
+        )
+
     def _region_state(self, name: str) -> _RegionState:
         st = self._state.get(name)
         if st is None:
             # Region declared after construction: lazily allocate.
             reg = self.regions.get(name)
-            n = reg.lines(self.line_size)
-            st = _RegionState(
-                l1_last=np.full((self.ncores, n), -1, dtype=np.int64),
-                l2_last=np.full((self.ngroups, n), -1, dtype=np.int64),
-                owner=np.full(n, -1, dtype=np.int16),
-                sharers=np.zeros(n, dtype=np.uint64),
-            )
+            st = self._new_region_state(reg.lines(self.line_size))
             self._state[name] = st
         return st
+
+    def _lines_of(self, sel) -> np.ndarray:
+        """Line indices selected by *sel* (cached ramp for dense slices)."""
+        if isinstance(sel, slice):
+            if self._line_iota.size < sel.stop:
+                self._line_iota = np.arange(
+                    max(sel.stop, 2 * self._line_iota.size), dtype=np.int64
+                )
+            return self._line_iota[sel]
+        return sel
 
     def _fill_single(self, dst: np.ndarray, miss: np.ndarray, k: int,
                      base) -> None:
@@ -144,6 +199,39 @@ class FastMemorySystem:
                 dst[k:] = base + k
             return
         np.add(np.cumsum(miss, dtype=np.int64), base, out=dst)
+
+    def _absorb_holes(self, rs: _RegionState, sel, masked: np.ndarray,
+                      word: int) -> None:
+        """Credit invalidation holes to every core of directory node *word*
+        whose set bits appear in *masked* (per-line core masks of copies
+        being invalidated): a still-resident invalidated copy frees an L1
+        slot there.  One sharer (the overwhelmingly common case — a single
+        producer) takes a scalar path; several sharers are handled as one
+        vectorised (ncores_sharing, nlines) residency comparison instead
+        of a per-bit Python loop."""
+        union = int(np.bitwise_or.reduce(masked)) if masked.size else 0
+        if not union:
+            return
+        base = word * CORES_PER_NODE
+        cap = self.l1_capacity
+        if union & (union - 1) == 0:  # exactly one sharing core
+            other = base + union.bit_length() - 1
+            held = (masked & self._corebit[other]) != 0
+            olast = rs.l1_last[other, sel]
+            resident = held & (olast >= max(0, self._clock[other] - cap + 1))
+            self._holes[other] += int(resident.sum())
+            return
+        cores = []
+        while union:
+            cores.append(base + (union & -union).bit_length() - 1)
+            union &= union - 1
+        carr = np.asarray(cores, dtype=np.int64)
+        bits = self._corebit_arr[carr % CORES_PER_NODE]
+        held = (masked[None, :] & bits[:, None]) != 0
+        thr = np.maximum(0, self._clock[carr] - cap + 1)
+        resident = held & (rs.l1_last[carr][:, sel] >= thr[:, None])
+        for core, count in zip(cores, resident.sum(axis=1).tolist()):
+            self._holes[core] += count
 
     # -- main entry points ---------------------------------------------------
     def run_op(self, core: int, op: _RangeOp) -> int:
@@ -193,6 +281,7 @@ class FastMemorySystem:
         group = self.l2_groups[core]
         st = self.stats[core]
         single = self._single_issuer
+        nw = self._nwords
         if single and core != self._issuer:
             if self._issuer is not None:
                 raise RuntimeError(
@@ -214,9 +303,9 @@ class FastMemorySystem:
 
         if single:
             # One core: nothing invalidates, so "ever filled and still
-            # recent" is the whole residency story — the sharer mask and
-            # owner array are provably inert (no remote copies to track,
-            # no remote owner to downgrade) and never touched.
+            # recent" is the whole residency story — the sharer directory
+            # and owner array are provably inert (no remote copies to
+            # track, no remote owner to downgrade) and never touched.
             miss = last < thr1
             n_miss = int(miss.sum())
             n_l1 = n - n_miss
@@ -226,9 +315,10 @@ class FastMemorySystem:
             n_mem = int(mem_miss.sum())
             n_l2 = n_miss - n_mem
         else:
+            word = self._word_of[core]
             mybit = self._corebit[core]
             otherbits = self._othermask[core]
-            sh = rs.sharers[sel]
+            sh = rs.sharers[word, sel]
             own = rs.owner[sel]
             in_l1 = ((sh & mybit) != 0) & (last >= thr1)
             miss = ~in_l1
@@ -253,7 +343,16 @@ class FastMemorySystem:
             if single:
                 cycles += n_l1 * l1w  # no remote sharers → no upgrades
             else:
-                shared_hit = in_l1 & ((sh & otherbits) != 0)
+                if nw == 1:
+                    remote_any = (sh & otherbits) != 0
+                else:
+                    # Two-level test: other sharers exist in my node's
+                    # word, or the presence word names any other node.
+                    pres = rs.presence[sel]
+                    remote_any = ((sh & otherbits) != 0) | (
+                        (pres & self._othernodes[word]) != 0
+                    )
+                shared_hit = in_l1 & remote_any
                 n_upg = int(shared_hit.sum())
                 cycles += n_upg * (l1w + self.mem.upgrade_latency)
                 cycles += (n_l1 - n_upg) * l1w
@@ -265,41 +364,41 @@ class FastMemorySystem:
                 # instead of evicting).  Fast path: private data (no remote
                 # copies) skips the scan — the common case for each
                 # kernel's own output ranges.  When remote copies exist,
-                # visit only the set bits of the union sharer mask instead
-                # of scanning all ncores: the sharer set of a swept range
-                # is typically one or two producers.
-                masked = sh & otherbits
-                union = int(np.bitwise_or.reduce(masked)) if masked.size else 0
-                while union:
-                    lowbit = union & -union
-                    other = lowbit.bit_length() - 1
-                    union &= union - 1
-                    held = (masked & self._corebit[other]) != 0
-                    olast = rs.l1_last[other, sel]
-                    resident = held & (
-                        olast >= max(0, self._clock[other] - self.l1_capacity + 1)
-                    )
-                    self._holes[other] += int(resident.sum())
-                rs.sharers[sel] = mybit
+                # only directory nodes named by the presence union are
+                # visited, and within each only the set bits of the union
+                # core mask: the sharer set of a swept range is typically
+                # one or two producers.
+                if nw == 1:
+                    self._absorb_holes(rs, sel, sh & otherbits, 0)
+                    rs.sharers[0, sel] = mybit
+                else:
+                    pres_union = int(np.bitwise_or.reduce(rs.presence[sel]))
+                    while pres_union:
+                        w2 = (pres_union & -pres_union).bit_length() - 1
+                        pres_union &= pres_union - 1
+                        wordsh = rs.sharers[w2, sel]
+                        masked = wordsh & otherbits if w2 == word else wordsh
+                        self._absorb_holes(rs, sel, masked, w2)
+                        if w2 != word:
+                            rs.sharers[w2, sel] = 0
+                    rs.sharers[word, sel] = mybit
+                    rs.presence[sel] = self._nodebit[word]
                 rs.owner[sel] = core
         else:
             cycles += n_l1 * l1r
             if not single:
                 # Reads: remote-owned lines downgrade (owner cleared, shared).
                 if n_coh:
-                    lines = (
-                        np.arange(sel.start, sel.stop, dtype=np.int64)
-                        if isinstance(sel, slice)
-                        else sel
-                    )
-                    downgrade = lines[remote_owned]
+                    downgrade = self._lines_of(sel)[remote_owned]
                     rs.owner[downgrade] = -1
                     # The previous owner's copy stays valid (now SHARED);
                     # the line also lands in the owner's L2 via writeback.
                     owner_groups = self._group_of[own[remote_owned].astype(np.int64)]
                     for g in np.unique(owner_groups):
                         rs.l2_last[g, downgrade[owner_groups == g]] = self._l2_clock[g]
-                rs.sharers[sel] |= mybit
+                rs.sharers[word, sel] |= mybit
+                if nw > 1:
+                    rs.presence[sel] |= self._nodebit[word]
 
         cycles += n_coh * (self.mem.cache_to_cache_latency + l1r)
         cycles += n_l2 * (l1r + l2r)

@@ -40,6 +40,7 @@ from repro.core.dthread import DThreadInstance
 from repro.net.fabric import Network
 from repro.net.message import INLET_ENTRY_BYTES, UPDATE_BYTES, Message, MsgKind, NetParams
 from repro.net.ownermap import RegionOwnerMap
+from repro.net.topology import Topology
 from repro.sim.accesses import AccessSummary
 from repro.sim.engine import Engine, Event, Resource, fastpath_enabled
 from repro.tsu.base import ProtocolAdapter
@@ -60,6 +61,7 @@ class DistTSUAdapter(ProtocolAdapter):
         nnodes: int,
         costs: SoftTSUCosts = SoftTSUCosts(),
         net_params: Optional[NetParams] = None,
+        topology: Optional[Topology] = None,
     ) -> None:
         super().__init__(engine, tsu)
         if not 1 <= nnodes <= tsu.nkernels:
@@ -74,7 +76,7 @@ class DistTSUAdapter(ProtocolAdapter):
             )
         self.nnodes = nnodes
         self.costs = costs
-        self.net = Network(engine, nnodes, net_params or NetParams())
+        self.net = Network(engine, nnodes, net_params or NetParams(), topology)
         self._fast = fastpath_enabled()
         self._node_of_kernel = [k * nnodes // tsu.nkernels for k in range(tsu.nkernels)]
         self._node_kernels: list[list[int]] = [[] for _ in range(nnodes)]
@@ -199,22 +201,52 @@ class DistTSUAdapter(ProtocolAdapter):
         targets = set(upd_by_node) - {node}
         if drained:
             targets.update(t for t in range(self.nnodes) if t != node)
-        for t in sorted(targets):
-            nupd = upd_by_node.get(t, 0)
-            wake_set = (
-                set(self._node_kernels[t]) if drained else ready_by_node.get(t, set())
-            )
+        wake_sets = {
+            t: (set(self._node_kernels[t]) if drained else ready_by_node.get(t, set()))
+            for t in targets
+        }
+        payloads = {t: max(upd_by_node.get(t, 0), 1) * UPDATE_BYTES for t in targets}
+        self._fanout_ready(node, sorted(targets), payloads, wake_sets)
+
+    def _send_ready(
+        self, src: int, dst: int, payload_bytes: int, wake_set: set[int]
+    ) -> None:
+        self.net.transmit(
+            Message(
+                MsgKind.READY_UPDATE, src=src, dst=dst, payload_bytes=payload_bytes
+            ),
+            on_deliver=(
+                (lambda msg, ks=wake_set: self.wake_kernels(ks)) if wake_set else None
+            ),
+        )
+
+    def _fanout_ready(
+        self,
+        node: int,
+        targets: list[int],
+        payloads: dict[int, int],
+        wake_sets: dict[int, set[int]],
+    ) -> None:
+        """Deliver Ready-Count updates (and their wake signals) to *targets*.
+
+        The flat adapter sends one point-to-point message per target; the
+        hierarchical adapter (:mod:`repro.tsu.hier`) overrides this to
+        relay through cluster-head nodes.  Timing-only either way: the
+        functional decrements already happened in ``complete_thread``.
+        """
+        for t in targets:
+            self._send_ready(node, t, payloads[t], wake_sets[t])
+
+    def _broadcast(self, node: int, kind: MsgKind, payload_bytes: int) -> None:
+        """Send *kind* from *node* to every other node, waking each on
+        arrival (Inlet/Outlet phase-change fan-out)."""
+        for t in range(self.nnodes):
+            if t == node:
+                continue
             self.net.transmit(
-                Message(
-                    MsgKind.READY_UPDATE,
-                    src=node,
-                    dst=t,
-                    payload_bytes=max(nupd, 1) * UPDATE_BYTES,
-                ),
-                on_deliver=(
-                    (lambda msg, ks=wake_set: self.wake_kernels(ks))
-                    if wake_set
-                    else None
+                Message(kind, src=node, dst=t, payload_bytes=payload_bytes),
+                on_deliver=lambda msg, ks=frozenset(self._node_kernels[t]): (
+                    self.wake_kernels(set(ks))
                 ),
             )
 
@@ -233,20 +265,9 @@ class DistTSUAdapter(ProtocolAdapter):
             return
         node = self._node_of_kernel[kernel]
         self.wake_kernels(set(self._node_kernels[node]))
-        for t in range(self.nnodes):
-            if t == node:
-                continue
-            self.net.transmit(
-                Message(
-                    MsgKind.INLET_BCAST,
-                    src=node,
-                    dst=t,
-                    payload_bytes=INLET_ENTRY_BYTES * max(block.size, 1),
-                ),
-                on_deliver=lambda msg, ks=frozenset(self._node_kernels[t]): (
-                    self.wake_kernels(set(ks))
-                ),
-            )
+        self._broadcast(
+            node, MsgKind.INLET_BCAST, INLET_ENTRY_BYTES * max(block.size, 1)
+        )
 
     def complete_thread(
         self, kernel: int, local_iid: int, instance: DThreadInstance
@@ -303,15 +324,7 @@ class DistTSUAdapter(ProtocolAdapter):
             if acks:
                 yield self.engine.all_of(acks, name="termination-barrier")
         else:
-            for t in range(self.nnodes):
-                if t == node:
-                    continue
-                self.net.transmit(
-                    Message(MsgKind.OUTLET_BCAST, src=node, dst=t),
-                    on_deliver=lambda msg, ks=frozenset(self._node_kernels[t]): (
-                        self.wake_kernels(set(ks))
-                    ),
-                )
+            self._broadcast(node, MsgKind.OUTLET_BCAST, 0)
 
     # -- memory pricing ----------------------------------------------------
     def thread_memory_cycles(

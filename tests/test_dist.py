@@ -23,6 +23,7 @@ from repro.net import Message, MsgKind, NetParams, Network, RegionOwnerMap
 from repro.net.message import UPDATE_BYTES
 from repro.platforms.dist import TFluxDist
 from repro.sim.accesses import AccessSummary, RegionSpace
+from repro.sim.capability import DirectoryCapacityError
 from repro.sim.engine import Engine
 from repro.tsu.policy import contiguous_placement, round_robin_placement
 
@@ -140,18 +141,22 @@ def test_ownermap_write_read_in_one_summary_is_local():
     assert om.access(1, summary) == {}
 
 
-def test_ownermap_caps_nodes_at_bitmask_width():
+def test_ownermap_caps_nodes_at_directory_width():
     rs, _ = _space()
-    with pytest.raises(ValueError):
-        RegionOwnerMap(rs, 64, 64)
+    assert RegionOwnerMap(rs, 64, 64).nnodes == 64  # one presence word exactly
+    with pytest.raises(DirectoryCapacityError):
+        RegionOwnerMap(rs, 64, 65)
 
 
 # -- platform validation ------------------------------------------------------
 def test_dist_validates_composition():
     with pytest.raises(ValueError):
         TFluxDist(nnodes=0)
-    with pytest.raises(ValueError):
-        TFluxDist(nnodes=8)  # 64 cores > the 63-core sharer bitmask
+    # 8 nodes x 8 cores = 64 cores: over the old flat 63-core bitmask,
+    # comfortably inside the two-level directory.
+    assert TFluxDist(nnodes=8).machine.ncores == 64
+    with pytest.raises(DirectoryCapacityError):
+        TFluxDist(nnodes=65)  # over the presence word's 64 nodes
     assert TFluxDist(nnodes=4).max_kernels == 24
     assert TFluxDist(nnodes=2).machine.ncores == 16
 

@@ -6,6 +6,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.sim.accesses import AccessSummary, RegionSpace
 from repro.sim.cache import CacheConfig, CoherentMemorySystem, MemoryConfig
+from repro.sim.capability import MAX_CORES, DirectoryCapacityError
 from repro.sim.fastcache import FastMemorySystem
 
 L1 = CacheConfig(size=1024, line_size=64, assoc=2, read_latency=2, write_latency=0)
@@ -149,8 +150,14 @@ def test_stats_conservation_fast():
 def test_too_many_cores_rejected():
     space = RegionSpace()
     space.region("R", 64)
+    # 64 cores fit exactly one directory word (the old flat mask stopped
+    # at 63); the two-level directory walls off at 64 nodes x 64 cores.
+    assert FastMemorySystem(64, L1, L2, MEM, space).ncores == 64
+    assert FastMemorySystem(512, L1, L2, MEM, space)._nwords == 8
+    with pytest.raises(DirectoryCapacityError):
+        FastMemorySystem(MAX_CORES + 1, L1, L2, MEM, space)
     with pytest.raises(ValueError):
-        FastMemorySystem(64, L1, L2, MEM, space)
+        FastMemorySystem(8, L1, L2, MEM, space, directory_words=0)
 
 
 def test_lazy_region_declaration():

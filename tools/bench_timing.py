@@ -6,8 +6,13 @@ multi-benchmark evaluate batch) three ways — serial, parallel
 (``TFLUX_JOBS``), and warm-cache — verifies all three produce identical
 cycle numbers, cross-checks the engine fast path (``TFLUX_FASTPATH`` on
 vs off must be cycle-identical over a slice of the figure and ablation
-dimensions, while dispatching fewer events per DThread instance), and
-writes the measurements to ``BENCH_PR4.json``.
+dimensions, while dispatching fewer events per DThread instance), times
+the coherence-hot FFT/MMULT cells whose invalidation sweeps stress the
+two-level sharer directory (cycles must match the flat-mask seed
+bit-for-bit), and writes the measurements to ``BENCH_PR6.json``.
+
+The parallel measurement is skipped (and annotated in the JSON) on
+hosts with ≤2 CPUs, where the pool can only add fork overhead.
 
 Usage::
 
@@ -63,6 +68,54 @@ def fingerprint(evs) -> list[tuple[str, str, int, int]]:
         (ev.platform, ev.bench, ev.parallel_cycles, ev.sequential_cycles)
         for ev in evs
     ]
+
+
+# -- coherence-hot cells: the FastMemorySystem invalidation sweeps -------------
+#: Cycle fingerprint of these cells on the PR-4/PR-5 tree (flat 64-bit
+#: sharer mask).  The two-level (node, core) directory must reproduce it
+#: bit for bit — the perf contract is "no slower AND no different".
+COHERENCE_SEED_FINGERPRINT = [
+    ("tfluxhard", "fft", 129722, 2444672),
+    ("tfluxhard", "mmult", 4285832, 89840128),
+]
+
+
+def coherence_requests() -> list[EvalRequest]:
+    """FFT + MMULT on the 27-kernel hardware platform: producer/consumer
+    row traffic and block reuse make the sharer-directory sweeps the hot
+    loop of these cells."""
+    return [
+        EvalRequest(
+            platform=TFluxHard(),
+            bench=bench,
+            size=problem_sizes(bench, "S")["large"],
+            nkernels=27,
+            unrolls=(2, 8),
+            verify=False,
+            max_threads=1024,
+        )
+        for bench in ("fft", "mmult")
+    ]
+
+
+def time_coherence() -> dict:
+    best, fp = None, None
+    for _ in range(3):
+        clear_baseline_memo()
+        t0 = time.perf_counter()
+        evs = evaluate_many(coherence_requests(), jobs=1, cache=None)
+        dt = time.perf_counter() - t0
+        if best is None or dt < best:
+            best = dt
+        fp = fingerprint(evs)
+    matches = fp == COHERENCE_SEED_FINGERPRINT
+    flag = "" if matches else "  << CYCLES DIVERGE FROM SEED"
+    print(f"{'coherence-hot (best of 3)':>28}: {best:8.2f}s{flag}")
+    return {
+        "seconds_best_of_3": round(best, 3),
+        "fingerprint": [list(t) for t in fp],
+        "matches_seed_fingerprint": matches,
+    }
 
 
 # -- TFLUX_FASTPATH neutrality over the figure/ablation dimensions -------------
@@ -181,7 +234,7 @@ def time_headline(cache_dir: str) -> dict[str, float]:
 def main() -> None:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--jobs", type=int, default=4)
-    ap.add_argument("--out", default="BENCH_PR4.json")
+    ap.add_argument("--out", default="BENCH_PR6.json")
     ap.add_argument("--quick", action="store_true")
     ap.add_argument(
         "--no-headline", action="store_true",
@@ -207,10 +260,20 @@ def main() -> None:
             "serial (TFLUX_JOBS unset)",
             fresh(lambda: evaluate_many(requests, jobs=1, cache=None)),
         )
-        parallel_s, parallel = timed(
-            f"parallel (TFLUX_JOBS={njobs})",
-            fresh(lambda: evaluate_many(requests, jobs=njobs, cache=None)),
-        )
+        ncpu = os.cpu_count() or 1
+        if ncpu <= 2:
+            # A pool wider than the host can only add fork overhead; the
+            # measurement would time the scheduler, not the harness.
+            parallel_s, parallel = None, None
+            print(
+                f"{'parallel (skipped)':>28}: host has {ncpu} CPU(s), "
+                "pool would only add fork overhead"
+            )
+        else:
+            parallel_s, parallel = timed(
+                f"parallel (TFLUX_JOBS={njobs})",
+                fresh(lambda: evaluate_many(requests, jobs=njobs, cache=None)),
+            )
         cache = ResultCache(cache_dir)
         cold_s, _ = timed(
             "cache cold (serial + store)",
@@ -221,6 +284,7 @@ def main() -> None:
             fresh(lambda: evaluate_many(requests, jobs=1, cache=cache)),
         )
         fastpath = check_fastpath()
+        coherence = time_coherence()
         if args.no_headline:
             headline = None
         else:
@@ -232,16 +296,21 @@ def main() -> None:
     finally:
         shutil.rmtree(cache_dir, ignore_errors=True)
 
-    assert fingerprint(serial) == fingerprint(parallel) == fingerprint(warm), (
+    paths = [serial, warm] if parallel is None else [serial, parallel, warm]
+    assert all(fingerprint(p) == fingerprint(serial) for p in paths), (
         "execution paths disagree on cycle numbers"
     )
-    print("cycle numbers identical across all three paths")
+    print(f"cycle numbers identical across all {len(paths)} paths")
     assert fastpath["identical_cycles"], "fast path is not cycle-neutral"
     print("fast path cycle-neutral across the figure/ablation slice")
+    assert coherence["matches_seed_fingerprint"], (
+        "two-level sharer directory diverged from the flat-mask seed cycles"
+    )
+    print("coherence-hot cells bit-identical to the flat-mask seed")
 
     prev_serial = None
-    if os.path.exists("BENCH_PR3.json"):
-        with open("BENCH_PR3.json") as fh:
+    if os.path.exists("BENCH_PR4.json"):
+        with open("BENCH_PR4.json") as fh:
             prev_serial = json.load(fh).get("seconds", {}).get("serial")
 
     payload = {
@@ -253,15 +322,25 @@ def main() -> None:
         "host": {"cpu_count": os.cpu_count()},
         "seconds": {
             "serial": round(serial_s, 3),
-            f"parallel_jobs{njobs}": round(parallel_s, 3),
+            f"parallel_jobs{njobs}": (
+                None if parallel_s is None else round(parallel_s, 3)
+            ),
             "cache_cold": round(cold_s, 3),
             "cache_warm": round(warm_s, 3),
         },
         "speedup_vs_serial": {
-            f"parallel_jobs{njobs}": round(serial_s / parallel_s, 2),
+            f"parallel_jobs{njobs}": (
+                None if parallel_s is None else round(serial_s / parallel_s, 2)
+            ),
             "cache_warm": round(serial_s / warm_s, 1),
         },
+        "parallel_skipped": (
+            None
+            if parallel_s is not None
+            else f"host has {os.cpu_count()} CPU(s); pool adds only fork overhead"
+        ),
         "identical_cycles": True,
+        "coherence_hot": coherence,
         "fastpath": fastpath,
         "serial_seconds_prev_pr": prev_serial,
         "bench_headline_seconds": headline,
