@@ -6,13 +6,21 @@ implementation, (b) a DDM decomposition built with
 compute-cost and access-summary declarations the timing layer prices —
 and (c) the paper's problem-size grid:
 
-========  ========  =======================================================
-TRAPEZ    kernel    trapezoidal integration, 2^k intervals (k=19/21/23)
-MMULT     kernel    dense matrix multiply (64..256 simulated, 256..1024 native)
-QSORT     MiBench   chunk sort + two-level merge tree (10K..50K, 3K..12K Cell)
-SUSAN     MiBench   image smoothing in three phases (256x288..1024x576)
-FFT       NAS       2-D FFT over an NxN complex matrix in two barrier phases
-========  ========  =======================================================
+=========  ========  =======================================================
+TRAPEZ     kernel    trapezoidal integration, 2^k intervals (k=19/21/23)
+MMULT      kernel    dense matrix multiply (64..256 simulated, 256..1024 native)
+QSORT      MiBench   chunk sort + two-level merge tree (10K..50K, 3K..12K Cell)
+SUSAN      MiBench   image smoothing in three phases (256x288..1024x576)
+FFT        NAS       2-D FFT over an NxN complex matrix in two barrier phases
+=========  ========  =======================================================
+
+Two beyond-paper workloads exercise the dynamic-graph surface (Subflow
+spawning + conditional arcs), registered alongside the paper's five:
+
+=========  ========  =======================================================
+QSORT_REC  dynamic   recursive quicksort, partitions spawned as Subflows
+QUAD       dynamic   adaptive quadrature, refinement chosen by cond arcs
+=========  ========  =======================================================
 
 Every app exposes ``build(size, unroll) -> DDMProgram``, ``reference`` /
 ``verify`` helpers, and registers itself in :data:`BENCHMARKS`.
@@ -26,6 +34,7 @@ from repro.apps.common import (
     problem_sizes,
 )
 from repro.apps import trapez, mmult, qsort, susan, fft  # noqa: F401 (registration)
+from repro.apps import qsort_rec, quad  # noqa: F401 (dynamic-graph workloads)
 
 __all__ = [
     "BENCHMARKS",

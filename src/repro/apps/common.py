@@ -98,6 +98,21 @@ _SIZES: Dict[str, Dict[str, Dict[str, dict]]] = {
         "N": {"small": {"n": 10_000}, "medium": {"n": 20_000}, "large": {"n": 50_000}},
         "C": {"small": {"n": 3_000}, "medium": {"n": 6_000}, "large": {"n": 12_000}},
     },
+    # Dynamic-graph workloads (no Table-1 row; sizes mirror qsort's, and
+    # quad's tolerance grid deepens the adaptive tree one decade per step).
+    "qsort_rec": {
+        "S": {"small": {"n": 10_000}, "medium": {"n": 20_000}, "large": {"n": 50_000}},
+        "N": {"small": {"n": 10_000}, "medium": {"n": 20_000}, "large": {"n": 50_000}},
+        "C": {"small": {"n": 3_000}, "medium": {"n": 6_000}, "large": {"n": 12_000}},
+    },
+    "quad": {
+        t: {
+            "small": {"eps": 1e-4},
+            "medium": {"eps": 1e-6},
+            "large": {"eps": 1e-8},
+        }
+        for t in TARGETS
+    },
     "susan": {
         t: {
             "small": {"w": 256, "h": 288},

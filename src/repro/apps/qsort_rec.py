@@ -1,0 +1,139 @@
+"""QSORT-REC — recursive quicksort over dynamically spawned subflows.
+
+The static QSORT decomposition (:mod:`repro.apps.qsort`) fixes its
+chunk/merge tree before execution.  This variant is the same MiBench
+workload expressed the way quicksort actually recurses: one ``sort``
+DThread partitions its range in place and *spawns* a
+:class:`~repro.core.dynamic.Subflow` with two child sorters for the
+sub-ranges — the graph unrolls at run time, driven by the pivot values,
+until ranges fall under the leaf cutoff and are sorted directly.
+
+Because partitioning is in place and children work on disjoint ranges,
+no merge phase exists: the spawning Outlet→Inlet barrier is the only
+synchronisation, and the result is sorted when the last leaf retires.
+
+The *unroll* factor keeps its Table-1 meaning (coarser DThreads): it
+scales the leaf cutoff, so higher unroll means fewer, larger leaves and
+a shallower dynamic tree.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.apps import common
+from repro.apps.common import COSTS, ProblemSize
+from repro.core.builder import ProgramBuilder
+from repro.core.dynamic import Subflow
+from repro.core.program import DDMProgram
+from repro.sim.accesses import AccessSummary
+
+__all__ = ["QSortRec"]
+
+#: Leaves at unroll 1 (the cutoff is sized so a balanced recursion
+#: produces about this many); the unroll factor divides it.
+BASE_LEAVES = 64
+
+
+class QSortRec:
+    name = "qsort_rec"
+
+    def build(
+        self, size: ProblemSize, unroll: int = 1, max_threads: int = 4096
+    ) -> DDMProgram:
+        n = size.params["n"]
+        nleaves = max(1, min(common.nthreads_for(BASE_LEAVES, unroll), max_threads, n))
+        cutoff = max(32, -(-n // nleaves))
+
+        b = ProgramBuilder(f"qsort_rec[{size.label}]")
+        b.env.alloc("data", n)
+        reg_data = b.env.region("data")
+        b.env.set("n", n)
+
+        def init_body(env):
+            rng = np.random.default_rng(seed=n)
+            env.array("data")[...] = rng.permutation(n).astype(np.float64)
+
+        b.prologue(
+            "init",
+            body=init_body,
+            cost=lambda env: 4 * n,
+            accesses=lambda env: AccessSummary().write(reg_data),
+        )
+
+        def leaf_cost(m: int) -> int:
+            m = max(m, 2)
+            return int(m * math.log2(m) * COSTS.sort_cmp)
+
+        def range_accesses(lo: int, hi: int) -> AccessSummary:
+            m = max(hi - lo, 1)
+            reps = max(1, int(math.log2(max(m, 2))))
+            s = AccessSummary()
+            s.read(reg_data, offset=lo * 8, count=m, reps=reps)
+            s.write(reg_data, offset=lo * 8, count=m, reps=reps)
+            return s
+
+        def make_sorter(lo: int, hi: int):
+            """Body of the sort DThread for [lo, hi): partition or leaf."""
+
+            def body(env, ctx):
+                d = env.array("data")
+                m = hi - lo
+                if m <= cutoff:
+                    d[lo:hi] = np.sort(d[lo:hi], kind="quicksort")
+                    return None
+                seg = d[lo:hi]
+                # Deterministic median-of-three pivot: recursion shape
+                # depends only on the data, never on the schedule.
+                pivot = float(np.median([seg[0], seg[m // 2], seg[m - 1]]))
+                left = seg[seg < pivot]
+                mid = seg[seg == pivot]
+                right = seg[seg > pivot]
+                d[lo:hi] = np.concatenate([left, mid, right])
+                p0 = lo + len(left)
+                p1 = p0 + len(mid)
+                sf = Subflow(f"split[{lo}:{hi}]")
+                if p0 > lo:
+                    sf.thread(
+                        f"sort[{lo}:{p0}]",
+                        body=make_sorter(lo, p0),
+                        cost=lambda env, _c, m=p0 - lo: partition_cost(m),
+                        accesses=lambda env, _c, a=lo, z=p0: range_accesses(a, z),
+                    )
+                if hi > p1:
+                    sf.thread(
+                        f"sort[{p1}:{hi}]",
+                        body=make_sorter(p1, hi),
+                        cost=lambda env, _c, m=hi - p1: partition_cost(m),
+                        accesses=lambda env, _c, a=p1, z=hi: range_accesses(a, z),
+                    )
+                return sf if sf.ninstances else None
+
+            return body
+
+        def partition_cost(m: int) -> int:
+            # One partition pass for an internal node, n log n for a leaf;
+            # the cost model cannot see the pivot, so it prices the
+            # pessimistic (leaf) case — cycle-dominant either way.
+            return leaf_cost(min(m, cutoff)) if m <= cutoff else m * COSTS.sort_cmp
+
+        b.thread(
+            "sort[root]",
+            body=make_sorter(0, n),
+            cost=lambda env, _c: partition_cost(n),
+            accesses=lambda env, _c: range_accesses(0, n),
+        )
+        b.thread("done", body=lambda env, _c: env.set("sorted", True))
+        b.depends(1, 2)
+        return b.build()
+
+    def verify(self, env, size: ProblemSize) -> None:
+        n = env.get("n")
+        data = env.array("data")
+        assert env.get("sorted") is True
+        np.testing.assert_array_equal(data, np.arange(n, dtype=np.float64))
+
+
+common.register(QSortRec())

@@ -31,6 +31,7 @@ from typing import Generator, Optional
 
 from repro.cell.commandbuffer import Command, CommandBuffer, SharedVariableBuffer
 from repro.cell.dma import DMAEngine
+from repro.core.dynamic import Subflow
 from repro.cell.localstore import LocalStore
 from repro.cell.mailbox import Mailbox
 from repro.core.block import DDMBlock
@@ -170,7 +171,9 @@ class CellTSUAdapter(ProtocolAdapter):
                         yield busy
                         self.ppe_busy_cycles += busy
                         self.ppe_commands += 1
-                        self._apply_thread_completion(cmd.kernel, cmd.arg)
+                        self._apply_thread_completion(
+                            cmd.kernel, cmd.arg, cmd.outcome
+                        )
                     elif cmd.opcode == "fetch":
                         yield costs.ppe_per_command
                         self.ppe_busy_cycles += costs.ppe_per_command
@@ -222,10 +225,25 @@ class CellTSUAdapter(ProtocolAdapter):
         self._retry_parked()
         self.wake_kernels()
 
-    def complete_thread(
-        self, kernel: int, local_iid: int, instance: DThreadInstance
+    def resolve_dynamic(
+        self, kernel: int, local_iid: int, outcome: object
     ) -> Generator:
-        yield from self._write_command(Command("complete", kernel, local_iid))
+        # A spawned subflow's descriptor is staged into the
+        # SharedVariableBuffer with one extra command-sized DMA write;
+        # a branch key packs into the completion command for free.
+        if isinstance(outcome, Subflow):
+            yield self.costs.command_write_cycles
+
+    def complete_thread(
+        self,
+        kernel: int,
+        local_iid: int,
+        instance: DThreadInstance,
+        outcome: object = None,
+    ) -> Generator:
+        yield from self._write_command(
+            Command("complete", kernel, local_iid, outcome=outcome)
+        )
 
     def complete_outlet(self, kernel: int, block: DDMBlock) -> Generator:
         yield self.costs.outlet_cycles

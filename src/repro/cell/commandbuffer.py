@@ -27,6 +27,10 @@ class Command:
     opcode: str  # "complete" | "fetch" | "exit_ack"
     kernel: int
     arg: Any = None
+    #: Dynamic outcome riding a "complete" command: a branch key packed
+    #: into the command word, or a reference to a spawned Subflow staged
+    #: in the SharedVariableBuffer (its transfer is priced separately).
+    outcome: Any = None
 
 
 class CommandBuffer:

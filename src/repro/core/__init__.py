@@ -22,10 +22,11 @@ This subpackage defines the machine-independent entities of §2 and §3:
 
 from repro.core.context import Context, CTX_ALL
 from repro.core.dthread import DThreadInstance, DThreadTemplate, ThreadKind
+from repro.core.dynamic import GraphEpoch, Subflow
 from repro.core.environment import Environment
 from repro.core.graph import Arc, SynchronizationGraph
 from repro.core.block import DDMBlock
-from repro.core.program import DDMProgram
+from repro.core.program import DDMProgram, ProgramReusedError
 from repro.core.builder import ProgramBuilder
 
 __all__ = [
@@ -34,10 +35,13 @@ __all__ = [
     "DThreadInstance",
     "DThreadTemplate",
     "ThreadKind",
+    "GraphEpoch",
+    "Subflow",
     "Environment",
     "Arc",
     "SynchronizationGraph",
     "DDMBlock",
     "DDMProgram",
+    "ProgramReusedError",
     "ProgramBuilder",
 ]

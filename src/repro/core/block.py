@@ -102,10 +102,20 @@ def _topological_order(graph: ExpandedGraph) -> list[int]:
 
 
 def split_into_blocks(
-    graph: ExpandedGraph, tsu_capacity: Optional[int] = None
+    graph: ExpandedGraph,
+    tsu_capacity: Optional[int] = None,
+    first_block_id: int = 0,
+    mark_last: bool = True,
 ) -> list[DDMBlock]:
     """Cut the expanded graph into DDM Blocks of at most *tsu_capacity*
-    application DThreads each (``None`` = one block for the whole graph)."""
+    application DThreads each (``None`` = one block for the whole graph).
+
+    *first_block_id* offsets the block ids (and thereby the generated
+    Inlet/Outlet template ids): dynamically spawned subflows must not
+    collide with the static blocks already scheduled.  *mark_last* is
+    disabled for spawned blocks — a dynamic block never terminates the
+    program; the TSU exits on position, not on the flag.
+    """
     n = graph.ninstances
     if tsu_capacity is None or tsu_capacity >= n:
         boundaries = [n]
@@ -141,13 +151,13 @@ def split_into_blocks(
         entry = [i for i in range(len(members)) if ready[i] == 0]
         blocks.append(
             DDMBlock(
-                block_id=b,
+                block_id=first_block_id + b,
                 instances=instances,
                 ready_counts=ready,
                 consumers=consumers,
                 entry=entry,
             )
         )
-    if blocks:
+    if blocks and mark_last:
         blocks[-1].is_last = True
     return blocks

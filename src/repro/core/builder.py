@@ -94,6 +94,24 @@ class ProgramBuilder:
         c = consumer.tid if isinstance(consumer, DThreadTemplate) else consumer
         return self.graph.add_arc(p, c, mapping)
 
+    def cond(
+        self,
+        producer: TemplateRef,
+        consumer: TemplateRef,
+        key: Any,
+        mapping: Union[str, Callable[[Context], Iterable[Context]]] = "same",
+    ):
+        """Declare a conditional arc, taken when *producer*'s body returns
+        *key*.  Unchosen branches are squashed — see
+        :mod:`repro.core.dynamic` for the exact semantics."""
+        if key is None:
+            raise ValueError(
+                "cond key must not be None (None is the no-branch outcome)"
+            )
+        p = producer.tid if isinstance(producer, DThreadTemplate) else producer
+        c = consumer.tid if isinstance(consumer, DThreadTemplate) else consumer
+        return self.graph.add_arc(p, c, mapping, cond_key=key)
+
     # -- sequential sections --------------------------------------------------
     def prologue(
         self,

@@ -10,7 +10,10 @@ Every template carries three callables:
 ``body(env, ctx)``
     The functional payload — real Python code mutating the shared
     :class:`~repro.core.environment.Environment`.  This is what executes
-    in control-flow order once the instance fires.
+    in control-flow order once the instance fires.  Its return value is
+    the instance's *outcome*: ``None`` for ordinary threads, a
+    :class:`~repro.core.dynamic.Subflow` to spawn a dynamic sub-graph, or
+    a branch key selecting among the template's conditional arcs.
 ``cost(env, ctx) -> int``
     Compute cycles charged by the timing simulation (pure CPU work,
     excluding memory stalls).
@@ -74,10 +77,17 @@ class DThreadTemplate:
     def ninstances(self) -> int:
         return len(self.contexts)
 
-    def run(self, env: Any, ctx: Context) -> None:
-        """Execute the functional payload (no-op when body is None)."""
+    def run(self, env: Any, ctx: Context) -> Any:
+        """Execute the functional payload and return its outcome.
+
+        The outcome (the body's return value) is what the dynamic-graph
+        machinery consumes: a :class:`~repro.core.dynamic.Subflow` spawns
+        a sub-graph, any other non-``None`` value is a branch key for the
+        template's conditional arcs.  Static bodies return ``None``.
+        """
         if self.body is not None:
-            self.body(env, ctx)
+            return self.body(env, ctx)
+        return None
 
     def compute_cost(self, env: Any, ctx: Context) -> int:
         if self.cost is None:

@@ -24,8 +24,8 @@ consumer list — exactly the metadata the Inlet DThread loads into the TSU.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Iterable, Optional, Union
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Optional, Union
 
 from repro.core.context import CTX_ALL, Context, normalize_context
 from repro.core.dthread import DThreadInstance, DThreadTemplate
@@ -41,11 +41,19 @@ class GraphError(ValueError):
 
 @dataclass(frozen=True)
 class Arc:
-    """A producer→consumer dependence between two templates."""
+    """A producer→consumer dependence between two templates.
+
+    ``cond_key`` makes the arc *conditional*: it counts in the
+    consumer's Ready Count like any arc, but only delivers a real input
+    when the producer's outcome (its body's return value) equals the
+    key.  Unchosen conditional arcs die at resolution time — the
+    squash semantics live in :mod:`repro.core.dynamic`.
+    """
 
     producer: int
     consumer: int
     mapping: Mapping = "same"
+    cond_key: Any = None
 
     def consumer_contexts(
         self, producer_ctx: Context, consumer: DThreadTemplate
@@ -70,6 +78,9 @@ class ExpandedGraph:
     entry: list[int]
     #: (template tid, ctx) -> iid
     index: dict[tuple[int, Context], int]
+    #: Conditional-arc table: producer iid -> {branch key: consumer iids}.
+    #: Empty for purely static graphs (the common case).
+    cond_targets: dict[int, dict[Any, list[int]]] = field(default_factory=dict)
 
     @property
     def ninstances(self) -> int:
@@ -111,14 +122,18 @@ class SynchronizationGraph:
         return template
 
     def add_arc(
-        self, producer: int, consumer: int, mapping: Mapping = "same"
+        self,
+        producer: int,
+        consumer: int,
+        mapping: Mapping = "same",
+        cond_key: Any = None,
     ) -> Arc:
         for tid in (producer, consumer):
             if tid not in self._templates:
                 raise GraphError(f"arc references unknown template {tid}")
         if producer == consumer:
             raise GraphError("self-dependence arcs are not allowed")
-        arc = Arc(producer, consumer, mapping)
+        arc = Arc(producer, consumer, mapping, cond_key)
         self._arcs.append(arc)
         return arc
 
@@ -177,6 +192,7 @@ class SynchronizationGraph:
 
         ready = [0] * len(instances)
         consumers: list[list[int]] = [[] for _ in instances]
+        cond_targets: dict[int, dict[Any, list[int]]] = {}
         for arc in self._arcs:
             prod = self._templates[arc.producer]
             cons = self._templates[arc.consumer]
@@ -192,9 +208,14 @@ class SynchronizationGraph:
                     dst = index[(cons.tid, cctx)]
                     consumers[src].append(dst)
                     ready[dst] += 1
+                    if arc.cond_key is not None:
+                        by_key = cond_targets.setdefault(src, {})
+                        by_key.setdefault(arc.cond_key, []).append(dst)
 
         entry = [iid for iid in range(len(instances)) if ready[iid] == 0]
         if not entry and instances:
             raise GraphError("no entry instances (every instance has producers)")
-        graph = ExpandedGraph(instances, ready, consumers, entry, index)
+        graph = ExpandedGraph(
+            instances, ready, consumers, entry, index, cond_targets
+        )
         return graph

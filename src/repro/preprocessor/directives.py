@@ -16,15 +16,27 @@ Directive grammar (one per line)::
     #pragma ddm epilogue | endepilogue
     #pragma ddm thread <int> [context(<int>)]
                      [depends(<int> <same|all|map(<expr>)>) ...]
+                     [cond(<int> <int> [same|all]) ...]
     #pragma ddm endthread
     #pragma ddm for thread <int> [unroll(<int>)] [depends(...) ...]
       for (<var> = <const>; <var> < <const>; <var> += <const>) { ... }
     #pragma ddm endfor                             -- loop DThread: the
                      iteration space is split into one instance per
                      ``unroll`` iterations (constant bounds required)
+    #pragma ddm subflow name(<ident>)              -- dynamic sub-graph:
+      <thread directives, ids local to the subflow>
+    #pragma ddm endsubflow
 
 ``CTX`` inside a thread body (and inside ``map(...)``) is the instance's
 context value.
+
+Dynamic graphs (see :mod:`repro.core.dynamic`): a ``cond(p k)`` clause
+declares a *conditional* arc from thread ``p``, taken only when ``p``'s
+body chose branch key ``k`` by assigning the reserved ``DDMCHOICE``
+variable.  A ``subflow`` block declares a spawnable sub-graph; a body
+spawns it by assigning its name to the reserved ``DDMSPAWN`` variable
+(``DDMSPAWN = refine;``), and the back-end ships a fresh instance of the
+sub-graph as the thread's outcome.
 """
 
 from __future__ import annotations
@@ -37,13 +49,16 @@ from repro.preprocessor.errors import DDMSyntaxError
 
 __all__ = [
     "Dependence",
+    "CondDependence",
     "SharedVar",
     "ThreadDirective",
+    "SubflowSource",
     "ProgramSource",
     "split_directives",
 ]
 
 _PRAGMA_RE = re.compile(r"^\s*#\s*pragma\s+ddm\b(.*)$")
+_COND_RE = re.compile(r"(?<![A-Za-z0-9_])cond\(([^)]*)\)")
 _NAME_RE = re.compile(r"name\(\s*([A-Za-z_]\w*)\s*\)")
 _CONTEXT_RE = re.compile(r"context\(\s*(\d+)\s*\)")
 _UNROLL_RE = re.compile(r"unroll\(\s*(\d+)\s*\)")
@@ -60,6 +75,16 @@ class Dependence:
     producer: int
     mapping: str  # "same" | "all" | "map"
     map_expr: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class CondDependence:
+    """One ``cond(producer key [mapping])`` clause: a conditional arc
+    taken when the producer's ``DDMCHOICE`` equals *key*."""
+
+    producer: int
+    key: int
+    mapping: str = "same"  # "same" | "all"
 
 
 @dataclass(frozen=True)
@@ -82,6 +107,7 @@ class ThreadDirective:
     tid: int
     context: int = 1
     depends: list[Dependence] = field(default_factory=list)
+    conds: list[CondDependence] = field(default_factory=list)
     body: str = ""
     body_line: int = 0
     block: Optional[int] = None
@@ -93,12 +119,22 @@ class ThreadDirective:
 
 
 @dataclass
+class SubflowSource:
+    """A ``#pragma ddm subflow`` block: a spawnable sub-graph whose
+    thread ids are local to the subflow."""
+
+    name: str
+    threads: list[ThreadDirective] = field(default_factory=list)
+
+
+@dataclass
 class ProgramSource:
     """The directive-level decomposition of one DDM source file."""
 
     name: str
     variables: list[SharedVar] = field(default_factory=list)
     threads: list[ThreadDirective] = field(default_factory=list)
+    subflows: list[SubflowSource] = field(default_factory=list)
     prologue: str = ""
     prologue_line: int = 0
     epilogue: str = ""
@@ -121,6 +157,20 @@ def _parse_thread_header(rest: str, lineno: int) -> ThreadDirective:
             td.depends.append(Dependence(producer, spec))
         else:
             td.depends.append(Dependence(producer, "map", map_expr))
+    for cm in _COND_RE.finditer(rest):
+        inner = cm.group(1).strip()
+        im = re.match(r"(\d+)\s+(-?\d+)(?:\s+(same|all))?$", inner)
+        if not im:
+            raise DDMSyntaxError(
+                f"malformed cond({inner!r}): expected "
+                "cond(<producer> <int-key> [same|all])",
+                lineno,
+            )
+        td.conds.append(
+            CondDependence(
+                int(im.group(1)), int(im.group(2)), im.group(3) or "same"
+            )
+        )
     return td
 
 
@@ -167,6 +217,7 @@ def split_directives(source: str) -> ProgramSource:
     prog: Optional[ProgramSource] = None
     ended = False
     current_thread: Optional[ThreadDirective] = None
+    current_subflow: Optional[SubflowSource] = None
     current_section: Optional[str] = None  # "prologue" | "epilogue"
     body_lines: list[str] = []
     body_start = 0
@@ -206,7 +257,29 @@ def split_directives(source: str) -> ProgramSource:
         if keyword == "endprogram":
             if current_thread is not None:
                 raise DDMSyntaxError("endprogram inside thread", lineno)
+            if current_subflow is not None:
+                raise DDMSyntaxError("endprogram inside subflow", lineno)
             ended = True
+        elif keyword == "subflow":
+            if current_thread is not None or current_section is not None:
+                raise DDMSyntaxError("subflow inside thread/section", lineno)
+            if current_subflow is not None:
+                raise DDMSyntaxError("nested subflow", lineno)
+            nm = _NAME_RE.search(rest)
+            if not nm:
+                raise DDMSyntaxError("subflow directive needs name(...)", lineno)
+            current_subflow = SubflowSource(name=nm.group(1))
+        elif keyword == "endsubflow":
+            if current_thread is not None:
+                raise DDMSyntaxError("endsubflow inside thread", lineno)
+            if current_subflow is None:
+                raise DDMSyntaxError("endsubflow without subflow", lineno)
+            if not current_subflow.threads:
+                raise DDMSyntaxError(
+                    f"subflow {current_subflow.name!r} declares no threads", lineno
+                )
+            p.subflows.append(current_subflow)
+            current_subflow = None
         elif keyword == "var":
             decl = rest[len("var"):].strip()
             vm = _VAR_RE.match(decl)
@@ -232,6 +305,10 @@ def split_directives(source: str) -> ProgramSource:
         elif keyword == "for":
             if current_thread is not None or current_section is not None:
                 raise DDMSyntaxError("nested thread/section", lineno)
+            if current_subflow is not None:
+                raise DDMSyntaxError(
+                    "'for thread' is not supported inside a subflow", lineno
+                )
             after = rest[len("for"):].strip()
             if not after.startswith("thread"):
                 raise DDMSyntaxError("expected 'for thread <id> ...'", lineno)
@@ -257,11 +334,16 @@ def split_directives(source: str) -> ProgramSource:
             if current_thread.is_loop:
                 raise DDMSyntaxError("'for thread' must close with endfor", lineno)
             current_thread.body = "\n".join(body_lines)
-            p.threads.append(current_thread)
+            if current_subflow is not None:
+                current_subflow.threads.append(current_thread)
+            else:
+                p.threads.append(current_thread)
             current_thread = None
         elif keyword in ("prologue", "epilogue"):
             if current_thread is not None or current_section is not None:
                 raise DDMSyntaxError(f"nested {keyword}", lineno)
+            if current_subflow is not None:
+                raise DDMSyntaxError(f"{keyword} inside subflow", lineno)
             current_section = keyword
             body_lines = []
             body_start = lineno + 1
@@ -282,21 +364,47 @@ def split_directives(source: str) -> ProgramSource:
         raise DDMSyntaxError("no '#pragma ddm startprogram' found", 1)
     if current_thread is not None:
         raise DDMSyntaxError(f"thread {current_thread.tid} never closed", len(lines))
+    if current_subflow is not None:
+        raise DDMSyntaxError(
+            f"subflow {current_subflow.name!r} never closed", len(lines)
+        )
     if current_section is not None:
         raise DDMSyntaxError(f"{current_section} never closed", len(lines))
     if not ended:
         raise DDMSyntaxError("missing '#pragma ddm endprogram'", len(lines))
     if not prog.threads:
         raise DDMSyntaxError("program declares no threads", len(lines))
+    _check_scope(prog.name, prog.threads)
+    sf_names: set[str] = set()
+    shared_names = {v.name for v in prog.variables}
+    for sf in prog.subflows:
+        if sf.name in sf_names:
+            raise DDMSyntaxError(f"duplicate subflow name {sf.name!r}")
+        sf_names.add(sf.name)
+        if sf.name in shared_names:
+            raise DDMSyntaxError(
+                f"subflow name {sf.name!r} collides with a shared variable"
+            )
+        _check_scope(f"subflow {sf.name}", sf.threads)
+    return prog
+
+
+def _check_scope(scope: str, threads: list[ThreadDirective]) -> None:
+    """Thread ids unique and arcs (plain + conditional) resolvable within
+    one scope — the program or one subflow."""
     seen: set[int] = set()
-    for t in prog.threads:
+    for t in threads:
         if t.tid in seen:
-            raise DDMSyntaxError(f"duplicate thread id {t.tid}")
+            raise DDMSyntaxError(f"duplicate thread id {t.tid} in {scope}")
         seen.add(t.tid)
-    for t in prog.threads:
+    for t in threads:
         for dep in t.depends:
             if dep.producer not in seen:
                 raise DDMSyntaxError(
                     f"thread {t.tid} depends on unknown thread {dep.producer}"
                 )
-    return prog
+        for c in t.conds:
+            if c.producer not in seen:
+                raise DDMSyntaxError(
+                    f"thread {t.tid} cond-depends on unknown thread {c.producer}"
+                )

@@ -117,6 +117,15 @@ class KernelBackend(Protocol):
         compute/memory cost on this backend's axis."""
         ...
 
+    def resolve_dynamic(self, kernel: int, fetch: Fetch) -> StepGenerator:
+        """Hand the completed DThread's outcome (branch key or spawned
+        Subflow) to the TSU ahead of the completion notification, and
+        charge whatever shipping it costs on this platform (TUB push,
+        posted command stores).  Static threads return ``None`` and this
+        step must cost nothing — static programs execute bit-identically
+        to a build without the hook."""
+        ...
+
     def notify_completion(self, kernel: int, fetch: Fetch) -> StepGenerator:
         """Tell the TSU the DThread finished (Post-Processing Phase
         entry point: posted command, TUB push, or direct call)."""
@@ -208,12 +217,17 @@ def kernel_loop(
             )
             continue
 
-        # FetchKind.THREAD — the application DThread path.
+        # FetchKind.THREAD — the application DThread path.  Dynamic
+        # outcomes (branch keys, spawned subflows) ship in the
+        # resolve_dynamic step, sharing the completion's runtime
+        # bracket; for static threads it is a zero-cost no-op and the
+        # bracket is exactly the pre-dynamic one.
         inst = fetch.instance
         assert inst is not None, "THREAD fetch carries no instance"
         t_thread = backend.now(kernel)
         yield from backend.run_thread(kernel, fetch)
         t0 = backend.now(kernel)
+        yield from backend.resolve_dynamic(kernel, fetch)
         yield from backend.notify_completion(kernel, fetch)
         backend.charge_runtime(kernel, t0)
         account.dthreads += 1

@@ -78,7 +78,11 @@ class NativeRuntime:
         self.tsu = TSUGroup(
             nkernels, self.blocks, placement=placement,
             allow_stealing=allow_stealing,
+            root_graph=program.expanded(), tsu_capacity=tsu_capacity,
         )
+        #: Per-kernel outcome of the body just run (each kernel thread
+        #: writes/reads only its own slot; shipped through the TUB).
+        self._outcomes: list[object] = [None] * nkernels
         self.tub = ThreadUpdateBuffer(tub_segments, tub_segment_capacity)
         # One mutex guards TSU state transitions (fetch / inlet / outlet /
         # post-processing application); DThread bodies run outside it.
@@ -155,15 +159,25 @@ class NativeRuntime:
         # The body runs without any TSU lock held.
         inst = fetch.instance
         t0 = self._now_us()
-        inst.template.run(self.program.env, inst.ctx)
+        self._outcomes[kernel] = inst.template.run(self.program.env, inst.ctx)
         self._accounts[kernel].charge_compute(self._now_us() - t0)
+
+    @blocking_step
+    def resolve_dynamic(self, kernel: int, fetch: Fetch) -> None:
+        # The outcome rides the TUB entry pushed by notify_completion;
+        # the emulator applies it during the Post-Processing Phase.
+        pass
 
     @blocking_step
     def notify_completion(self, kernel: int, fetch: Fetch) -> None:
         # Completion notification goes through the TUB; the emulator
         # thread performs the Post-Processing Phase and notifies.
         assert fetch.local_iid is not None
-        self.tub.push((kernel, fetch.local_iid), preferred_segment=kernel)
+        outcome = self._outcomes[kernel]
+        self._outcomes[kernel] = None
+        self.tub.push(
+            (kernel, fetch.local_iid, outcome), preferred_segment=kernel
+        )
 
     # -- kernel thread ---------------------------------------------------------
     def _kernel_main(self, k: int) -> None:
@@ -183,8 +197,8 @@ class NativeRuntime:
                 if items:
                     t0 = self._now_us()
                     with self._cond:
-                        for kernel, local_iid in items:
-                            tsu.complete_thread(kernel, local_iid)
+                        for kernel, local_iid, outcome in items:
+                            tsu.complete_thread(kernel, local_iid, outcome)
                         self._cond.notify_all()
                     self.emulator_busy_us += self._now_us() - t0
                     self.emulator_batches += 1
@@ -203,6 +217,7 @@ class NativeRuntime:
         if self._ran:
             raise RuntimeError("NativeRuntime objects are single-use")
         self._ran = True
+        self.program.mark_executed()
         env = self.program.env
 
         t_start = time.perf_counter()

@@ -21,7 +21,7 @@ backend property, not a separate loop.
 
 from __future__ import annotations
 
-from typing import Callable, Generator, Iterable, Iterator, Optional
+from typing import Callable, Generator, Iterable, Optional
 
 from repro.core.program import DDMProgram
 from repro.obs import NULL_PROBE, Counters, KernelAccount, Probe
@@ -82,6 +82,7 @@ class SimulatedRuntime:
         self.tsu = TSUGroup(
             nkernels, self.blocks, placement=placement,
             allow_stealing=allow_stealing,
+            root_graph=program.expanded(), tsu_capacity=tsu_capacity,
         )
         factory = adapter_factory or (lambda eng, tsu: ZeroOverheadAdapter(eng, tsu))
         self.adapter = factory(self.engine, self.tsu)
@@ -102,6 +103,10 @@ class SimulatedRuntime:
         #: :class:`repro.obs.Tracer`) to keep them.
         self.probe: Probe = tracer if tracer is not None else NULL_PROBE
         self._wait_events: dict[int, Event] = {}
+        #: Per-kernel body outcome, stashed by run_thread and consumed by
+        #: resolve_dynamic/notify_completion later in the same loop
+        #: iteration (at most one in-flight DThread per kernel).
+        self._outcomes: dict[int, object] = {}
         self._ran = False
 
     # -- wake management ------------------------------------------------------
@@ -157,7 +162,9 @@ class SimulatedRuntime:
         # Run functionally, then charge the cost models' verdict.
         inst = fetch.instance
         env = self.program.env
-        inst.template.run(env, inst.ctx)
+        outcome = inst.template.run(env, inst.ctx)
+        if outcome is not None:
+            self._outcomes[kernel] = outcome
         compute = inst.template.compute_cost(env, inst.ctx)
         summary = inst.template.access_summary(env, inst.ctx)
         memory = self.adapter.thread_memory_cycles(kernel, inst, summary)
@@ -169,10 +176,18 @@ class SimulatedRuntime:
         account.charge_compute(compute)
         account.charge_memory(int(memory))
 
+    def resolve_dynamic(self, kernel: int, fetch: Fetch) -> Generator:
+        outcome = self._outcomes.get(kernel)
+        if outcome is None:
+            return  # static thread: zero DES events, bit-identical timing
+        assert fetch.local_iid is not None
+        yield from self.adapter.resolve_dynamic(kernel, fetch.local_iid, outcome)
+
     def notify_completion(self, kernel: int, fetch: Fetch) -> Generator:
         assert fetch.local_iid is not None
         yield from self.adapter.complete_thread(
-            kernel, fetch.local_iid, fetch.instance
+            kernel, fetch.local_iid, fetch.instance,
+            self._outcomes.pop(kernel, None),
         )
 
     # -- sequential sections --------------------------------------------------------
@@ -222,6 +237,7 @@ class SimulatedRuntime:
         if self._ran:
             raise RuntimeError("SimulatedRuntime objects are single-use")
         self._ran = True
+        self.program.mark_executed()
         self._region_start = 0.0
         self._region_end = 0.0
         main = self.engine.process(self._main_proc(), name="main")
@@ -280,7 +296,10 @@ class _SequentialBackend:
         self.probe = probe
         self.cycles = 0
         self.account = KernelAccount(0)
-        self._fire_order: Iterator = iter(program.fire_order())
+        self._fire_order = program.fire_order()
+        #: Outcome of the last body run, sent back into the fire-order
+        #: coroutine at the next fetch (spawns/branches in the oracle).
+        self._last_outcome: object = None
 
     # -- KernelBackend ---------------------------------------------------------
     def now(self, kernel: int) -> float:
@@ -296,9 +315,11 @@ class _SequentialBackend:
 
     @blocking_step
     def fetch(self, kernel: int) -> Fetch:
-        inst = next(self._fire_order, None)
-        if inst is None:
+        try:
+            inst = self._fire_order.send(self._last_outcome)
+        except StopIteration:
             return Fetch(FetchKind.EXIT)
+        self._last_outcome = None
         return Fetch(FetchKind.THREAD, instance=inst)
 
     @blocking_step
@@ -311,7 +332,7 @@ class _SequentialBackend:
     def run_thread(self, kernel: int, fetch: Fetch) -> None:
         inst = fetch.instance
         env = self.program.env
-        inst.template.run(env, inst.ctx)
+        self._last_outcome = inst.template.run(env, inst.ctx)
         compute = int(inst.template.compute_cost(env, inst.ctx))
         memory = int(
             self.memsys.run_summary(0, inst.template.access_summary(env, inst.ctx))
@@ -319,6 +340,10 @@ class _SequentialBackend:
         self.cycles += compute + memory
         self.account.charge_compute(compute)
         self.account.charge_memory(memory)
+
+    @blocking_step
+    def resolve_dynamic(self, kernel: int, fetch: Fetch) -> None:
+        pass  # outcomes flow back through the fire-order coroutine
 
     @blocking_step
     def notify_completion(self, kernel: int, fetch: Fetch) -> None:
@@ -356,6 +381,7 @@ def run_sequential_timed(
     """
     from repro.runtime.core import run_kernel_blocking
 
+    program.mark_executed()
     probe: Probe = tracer if tracer is not None else NULL_PROBE
     memsys = machine.memory_system(
         program.env.regions, exact=exact_memory, single_issuer=True

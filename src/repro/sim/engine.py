@@ -278,8 +278,14 @@ class Resource:
         self._lazy: list[float] = []
 
     def _expire_lazy(self, now: float) -> None:
+        # Strictly past deadlines only: a hold expiring exactly *now* is
+        # still an in-flight release on the eager path (an event later in
+        # this cycle's sequence order), so a same-cycle requester must
+        # queue behind it — passively freeing the slot here would let the
+        # requester jump same-cycle FIFO arbitration and win a grant the
+        # slow path gives to somebody else.
         lazy = self._lazy
-        while lazy and lazy[0] <= now:
+        while lazy and lazy[0] < now:
             heapq.heappop(lazy)
             self._in_use -= 1
 

@@ -41,7 +41,28 @@ from typing import Any, Callable, Generator
 from repro.sim.engine import Engine, Resource, fastpath_enabled
 from repro.sim.interconnect import SystemBus
 
-__all__ = ["MemoryMappedInterface"]
+__all__ = ["MemoryMappedInterface", "InflightGate"]
+
+
+class InflightGate:
+    """Ops in flight across every MMI device attached to one TSU Group.
+
+    A single-device adapter keeps a private gate; adapters with several
+    MMI devices in front of the *same* functional TSU (multigroup) must
+    share one.  The fast path coalesces an op into a single timeout whose
+    action-resume event is scheduled at *entry* time, while the eager path
+    schedules it at the *port-grant* instant — same cycle, different
+    engine sequence numbers.  With a sibling op in flight on another
+    device, a TSU mutation can land between those two instants and the
+    coalesced query would read TSU state the eager schedule has not yet
+    produced.  Sharing the gate makes "alone in the device" mean "alone
+    in front of the TSU", which restores the eager ordering exactly.
+    """
+
+    __slots__ = ("count",)
+
+    def __init__(self) -> None:
+        self.count = 0
 
 
 class MemoryMappedInterface:
@@ -53,6 +74,7 @@ class MemoryMappedInterface:
         bus: SystemBus,
         tsu_processing_cycles: int = 4,
         l1_access_cycles: int = 2,
+        inflight: "InflightGate | None" = None,
     ) -> None:
         self.engine = engine
         self.bus = bus
@@ -65,12 +87,13 @@ class MemoryMappedInterface:
         self.commands = 0
         self.queries = 0
         self._fast = fastpath_enabled()
-        #: Ops currently somewhere between entry and exit of command/query.
-        #: The fast path engages only when an op is alone in the device
-        #: (``_inflight == 1``): a contender mid-flight may reach the
-        #: command port at the *same timestamp* as our claim, and jumping
-        #: it in the FIFO would reorder TSU operations.
-        self._inflight = 0
+        #: Ops currently somewhere between entry and exit of command/query
+        #: on any MMI sharing this gate (see :class:`InflightGate`).  The
+        #: fast path engages only when an op is alone in front of the TSU
+        #: (``count == 1``): a contender mid-flight may reach a command
+        #: port at the *same timestamp* as our claim, and jumping it in
+        #: the FIFO would reorder TSU operations.
+        self._inflight = inflight if inflight is not None else InflightGate()
         self.fast_commands = 0
         self.fast_queries = 0
 
@@ -88,7 +111,7 @@ class MemoryMappedInterface:
         slot) and released *eagerly* when the plan's timeout fires — the
         exact point the eager protocol releases it.
         """
-        if self._inflight != 1:
+        if self._inflight.count != 1:
             return False
         bus_arbiter = self.bus._arbiter
         if not bus_arbiter.try_acquire():
@@ -111,7 +134,7 @@ class MemoryMappedInterface:
 
     def command(self, action: Callable[[], Any]) -> Generator:
         """Deliver an encoded command; *action* mutates the TSU state."""
-        self._inflight += 1
+        self._inflight.count += 1
         try:
             if self._fast and self._try_claim():
                 # One accumulated timeout for bus hold + TSU processing;
@@ -132,11 +155,11 @@ class MemoryMappedInterface:
                 self._port.release()
             self.commands += 1
         finally:
-            self._inflight -= 1
+            self._inflight.count -= 1
 
     def query(self, action: Callable[[], Any]) -> Generator:
         """Round-trip load; the process's return value is *action*'s result."""
-        self._inflight += 1
+        self._inflight.count += 1
         try:
             if self._fast and self._try_claim():
                 yield self._claim_plan()
@@ -162,4 +185,4 @@ class MemoryMappedInterface:
             self.queries += 1
             return result
         finally:
-            self._inflight -= 1
+            self._inflight.count -= 1

@@ -63,11 +63,27 @@ class ProtocolAdapter:
         self.tsu.complete_inlet(kernel)
         self.wake_kernels()
 
+    def resolve_dynamic(
+        self, kernel: int, local_iid: int, outcome: object
+    ) -> Generator:
+        """Price shipping a dynamic outcome (branch key / spawned
+        Subflow) to the TSU.  Costs only — the functional application
+        happens inside :meth:`complete_thread` at the platform's
+        post-processing instant.  *outcome* is ``None`` for static
+        threads; the base adapter (and any platform without a priced
+        transport) ships for free, keeping static programs bit-identical.
+        """
+        yield 0
+
     def complete_thread(
-        self, kernel: int, local_iid: int, instance: DThreadInstance
+        self,
+        kernel: int,
+        local_iid: int,
+        instance: DThreadInstance,
+        outcome: object = None,
     ) -> Generator:
         yield 0
-        self._apply_thread_completion(kernel, local_iid)
+        self._apply_thread_completion(kernel, local_iid, outcome)
 
     def complete_outlet(self, kernel: int, block: DDMBlock) -> Generator:
         yield 0
@@ -97,9 +113,11 @@ class ProtocolAdapter:
         return None
 
     # -- shared helper -----------------------------------------------------------
-    def _apply_thread_completion(self, kernel: int, local_iid: int) -> None:
+    def _apply_thread_completion(
+        self, kernel: int, local_iid: int, outcome: object = None
+    ) -> None:
         """Run post-processing functionally and wake affected kernels."""
-        newly_ready = self.tsu.complete_thread(kernel, local_iid)
+        newly_ready = self.tsu.complete_thread(kernel, local_iid, outcome)
         if self.tsu.phase_name in ("OUTLET_PENDING", "EXITED"):
             self.wake_kernels()
         elif newly_ready:

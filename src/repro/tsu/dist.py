@@ -37,6 +37,7 @@ from typing import Generator, Optional
 
 from repro.core.block import DDMBlock
 from repro.core.dthread import DThreadInstance
+from repro.core.dynamic import Subflow
 from repro.net.fabric import Network
 from repro.net.message import INLET_ENTRY_BYTES, UPDATE_BYTES, Message, MsgKind, NetParams
 from repro.net.ownermap import RegionOwnerMap
@@ -87,7 +88,9 @@ class DistTSUAdapter(ProtocolAdapter):
             Resource(engine, capacity=costs.tub_segments, name=f"tub:{n}")
             for n in range(nnodes)
         ]
-        self._queues: list[deque[tuple[int, int]]] = [deque() for _ in range(nnodes)]
+        self._queues: list[deque[tuple[int, int, object]]] = [
+            deque() for _ in range(nnodes)
+        ]
         self._emulator_wake: list[Optional[Event]] = [None] * nnodes
         self._emulator_started = False
         self._shutdown = False
@@ -148,14 +151,14 @@ class DistTSUAdapter(ProtocolAdapter):
         queue = self._queues[node]
         while True:
             if queue:
-                kernel, local_iid = queue.popleft()
+                kernel, local_iid, outcome = queue.popleft()
                 nconsumers = len(self.tsu.current_block.consumers[local_iid])
                 busy = costs.emulator_per_item + costs.emulator_per_update * nconsumers
                 yield busy
                 self.emulator_busy_cycles += busy
                 self.emulator_items += 1
                 self.emulator_updates += nconsumers
-                self._post_process(node, kernel, local_iid)
+                self._post_process(node, kernel, local_iid, outcome)
             elif self._shutdown:
                 return
             else:
@@ -165,11 +168,13 @@ class DistTSUAdapter(ProtocolAdapter):
                 self._emulator_wake[node] = None
 
     # -- post-processing ---------------------------------------------------
-    def _post_process(self, node: int, kernel: int, local_iid: int) -> None:
+    def _post_process(
+        self, node: int, kernel: int, local_iid: int, outcome: object = None
+    ) -> None:
         if self.nnodes == 1:
             # The exact single-node code path: base wake semantics,
             # bit-identical to SoftwareTSUAdapter.
-            self._apply_thread_completion(kernel, local_iid)
+            self._apply_thread_completion(kernel, local_iid, outcome)
             return
         tkt = self.node_tkt
         assert tkt is not None
@@ -184,7 +189,7 @@ class DistTSUAdapter(ProtocolAdapter):
             else:
                 self.remote_updates += n
 
-        newly_ready = self.tsu.complete_thread(kernel, local_iid)
+        newly_ready = self.tsu.complete_thread(kernel, local_iid, outcome)
         drained = self.tsu.phase_name in ("OUTLET_PENDING", "EXITED")
 
         ready_by_node: dict[int, set[int]] = {}
@@ -269,8 +274,22 @@ class DistTSUAdapter(ProtocolAdapter):
             node, MsgKind.INLET_BCAST, INLET_ENTRY_BYTES * max(block.size, 1)
         )
 
+    def resolve_dynamic(
+        self, kernel: int, local_iid: int, outcome: object
+    ) -> Generator:
+        # Same local pricing as TFluxSoft: the spawn descriptor is a
+        # second TUB-sized push on the completing kernel's node.  Remote
+        # nodes learn the new block's metadata through the ordinary
+        # INLET_BCAST when it loads — already priced in complete_inlet.
+        if isinstance(outcome, Subflow):
+            yield self.costs.tub_push_cycles
+
     def complete_thread(
-        self, kernel: int, local_iid: int, instance: DThreadInstance
+        self,
+        kernel: int,
+        local_iid: int,
+        instance: DThreadInstance,
+        outcome: object = None,
     ) -> Generator:
         # Push into the *node-local* TUB — same segment try-lock protocol
         # (and fast path) as SoftwareTSUAdapter.complete_thread.
@@ -287,7 +306,7 @@ class DistTSUAdapter(ProtocolAdapter):
                 yield self.costs.tub_push_cycles
             finally:
                 slots.release()
-        self._queues[node].append((kernel, local_iid))
+        self._queues[node].append((kernel, local_iid, outcome))
         self.tub_pushes += 1
         self._kick_emulator(node)
 

@@ -26,16 +26,31 @@ Protocol (driven by the Kernels through the platform adapters):
 3. ``complete_inlet`` / ``complete_outlet`` drive block sequencing:
    the Outlet clears the SMs and (unless the block was the last) arms the
    next block's Inlet; the last Outlet flips the TSU into the exit state.
+
+Dynamic graphs extend step 2: ``complete_thread`` carries the DThread's
+*outcome*.  A :class:`~repro.core.dynamic.Subflow` outcome expands into a
+fresh graph epoch, is cut into capacity-sized blocks with globally unique
+ids, and queued; the next Outlet splices the queued blocks directly after
+the current one, so spawned work runs before the remaining static blocks
+and the TSU exits only when no block — static or spawned — remains.  A
+branch-key outcome resolves the instance's conditional arcs through its
+epoch (:class:`~repro.core.dynamic.GraphEpoch`): squashed instances in
+the current block are retired on the spot (counting toward block
+completion, phantom-decrementing their consumers), squashed instances in
+future blocks are retired at load time by their block's Inlet.
 """
 
 from __future__ import annotations
 
 import enum
+from collections import deque
 from dataclasses import dataclass
-from typing import Optional
+from typing import Any, Optional
 
-from repro.core.block import DDMBlock
+from repro.core.block import DDMBlock, split_into_blocks
 from repro.core.dthread import DThreadInstance
+from repro.core.dynamic import GraphEpoch, Subflow
+from repro.core.graph import ExpandedGraph
 from repro.tsu.policy import PlacementPolicy, contiguous_placement
 from repro.tsu.sm import SynchronizationMemory, ThreadEntry
 from repro.tsu.tkt import ThreadToKernelTable
@@ -79,6 +94,8 @@ class TSUGroup:
         blocks: list[DDMBlock],
         placement: PlacementPolicy = contiguous_placement,
         allow_stealing: bool = False,
+        root_graph: Optional[ExpandedGraph] = None,
+        tsu_capacity: Optional[int] = None,
     ) -> None:
         if nkernels < 1:
             raise ValueError("need at least one kernel")
@@ -98,6 +115,22 @@ class TSUGroup:
         self._block_idx = 0
         self._phase = _Phase.INLET_PENDING
         self._completed_in_block = 0
+        # Dynamic-graph state.  Every block belongs to a graph epoch
+        # (the statically expanded program, or one spawned subflow);
+        # epochs carry the conditional-arc/squash bookkeeping.  Spawned
+        # blocks queue here until the running block's Outlet splices
+        # them in.  Drivers that never use dynamic features may omit
+        # root_graph (hand-built block lists in tests): spawning still
+        # works, conditional arcs then only exist inside subflows.
+        self.tsu_capacity = tsu_capacity
+        self._epoch_of_block: dict[int, GraphEpoch] = {}
+        if root_graph is not None:
+            root_epoch = GraphEpoch(root_graph)
+            for blk in blocks:
+                self._epoch_of_block[blk.block_id] = root_epoch
+        self._next_block_id = max(b.block_id for b in blocks) + 1
+        self._pending_dynamic: deque[DDMBlock] = deque()
+        self._local_of_current: dict[int, int] = {}
         # Statistics: plain ints on the hot path, published into the
         # repro.obs counter registry at end of run (publish_counters).
         self.fetches = 0
@@ -105,6 +138,9 @@ class TSUGroup:
         self.post_updates = 0
         self.threads_dispatched = 0
         self.steals = 0
+        self.spawned_subflows = 0
+        self.dynamic_blocks = 0
+        self.squashed_threads = 0
 
     def publish_counters(self, counters) -> None:
         """Publish scheduling counters under the ``tsu.`` namespace."""
@@ -114,6 +150,9 @@ class TSUGroup:
         scope.inc("post_updates", self.post_updates)
         scope.inc("dispatched", self.threads_dispatched)
         scope.inc("steals", self.steals)
+        scope.inc("spawns", self.spawned_subflows)
+        scope.inc("dynamic_blocks", self.dynamic_blocks)
+        scope.inc("squashed", self.squashed_threads)
 
     # -- helpers -----------------------------------------------------------
     @property
@@ -129,9 +168,19 @@ class TSUGroup:
 
     # -- the Inlet's work ---------------------------------------------------------
     def _load_block(self, block: DDMBlock) -> None:
-        """What the Inlet DThread does: load all metadata into the SMs."""
+        """What the Inlet DThread does: load all metadata into the SMs.
+
+        Instances whose branch already resolved against them while an
+        earlier block ran (their epoch marked them squashed) load
+        pre-squashed and retire immediately: they count toward block
+        completion and phantom-decrement their in-block consumers.
+        """
         assignment = self.placement(block, self.nkernels)
         self.tkt = ThreadToKernelTable(assignment, self.nkernels)
+        epoch = self._epoch_of_block.get(block.block_id)
+        need_index = epoch is not None and (epoch.has_cond or epoch.squashed)
+        self._local_of_current = {}
+        presquashed: list[ThreadEntry] = []
         for local_iid, inst in enumerate(block.instances):
             entry = ThreadEntry(
                 local_iid=local_iid,
@@ -140,8 +189,20 @@ class TSUGroup:
                 initial_ready_count=block.ready_counts[local_iid],
                 consumers=list(block.consumers[local_iid]),
             )
+            if epoch is not None and inst.iid in epoch.squashed:
+                entry.squashed = True
+                entry.completed = True
+                presquashed.append(entry)
             self.sms[assignment[local_iid]].load(entry)
+            if need_index:
+                self._local_of_current[inst.iid] = local_iid
         self._completed_in_block = 0
+        for entry in presquashed:
+            self.squashed_threads += 1
+            self._completed_in_block += 1
+            for consumer in entry.consumers:
+                self.sms[assignment[consumer]].decrement(consumer)
+                self.post_updates += 1
 
     # -- kernel-facing protocol ---------------------------------------------------
     def fetch(self, kernel: int) -> Fetch:
@@ -207,38 +268,112 @@ class TSUGroup:
         if self._phase != _Phase.LOADING:
             raise RuntimeError(f"inlet completion in phase {self._phase}")
         self._load_block(self.current_block)
-        # A block with no application DThreads (unreachable through the
-        # splitter, but possible for hand-built block lists) must fall
+        # A block with no live application DThreads (empty hand-built
+        # block lists, or every instance squashed-at-load) must fall
         # straight through to its Outlet rather than stall in RUNNING.
-        if self.current_block.size == 0:
+        if self._completed_in_block >= self.current_block.size:
             self._phase = _Phase.OUTLET_PENDING
         else:
             self._phase = _Phase.RUNNING
 
-    def complete_thread(self, kernel: int, local_iid: int) -> list[int]:
-        """Post-Processing Phase; returns consumers that became ready."""
+    def complete_thread(
+        self, kernel: int, local_iid: int, outcome: Any = None
+    ) -> list[int]:
+        """Post-Processing Phase; returns consumers that became ready.
+
+        *outcome* is the completed DThread's body return value: ``None``
+        for static threads, a :class:`~repro.core.dynamic.Subflow` to
+        spawn, any other value a branch key for the thread's conditional
+        arcs.  Branch resolution (squash marking + retirement) happens
+        before the consumer sweep so dead targets absorb their
+        decrements instead of firing.
+        """
         if self._phase != _Phase.RUNNING:
             raise RuntimeError(f"thread completion in phase {self._phase}")
         assert self.tkt is not None
         sm = self.sms[self.tkt.kernel_of(local_iid)]
         entry = sm.mark_completed(local_iid)
         newly_ready: list[int] = []
+        epoch = self._epoch_of_block.get(self.current_block.block_id)
+        if epoch is not None and epoch.has_cond:
+            giid = self.current_block.instances[local_iid].iid
+            key = None if isinstance(outcome, Subflow) else outcome
+            newly_squashed = epoch.resolve(giid, key)
+            if newly_squashed:
+                self._retire_squashed(newly_squashed, newly_ready)
         for consumer in entry.consumers:
             consumer_sm = self.sms[self.tkt.kernel_of(consumer)]
             if consumer_sm.decrement(consumer):
                 newly_ready.append(consumer)
             self.post_updates += 1
+        if isinstance(outcome, Subflow):
+            self._spawn(outcome)
         self._completed_in_block += 1
         if self._completed_in_block == self.current_block.size:
             self._phase = _Phase.OUTLET_PENDING
         return newly_ready
+
+    def _retire_squashed(
+        self, giids: list[int], newly_ready: list[int]
+    ) -> None:
+        """Retire newly squashed instances that live in the current block.
+
+        Two passes: mark every in-block victim first (so the phantom
+        decrements below no-op on siblings squashed by the same
+        resolution), then count them completed and phantom-decrement
+        their consumers — survivors with other live inputs may become
+        ready.  Victims in future blocks stay in their epoch's squash
+        set and retire at load time.
+        """
+        assert self.tkt is not None
+        retired: list[ThreadEntry] = []
+        for giid in giids:
+            local_iid = self._local_of_current.get(giid)
+            if local_iid is None:
+                continue  # future block: squash-at-load
+            sm = self.sms[self.tkt.kernel_of(local_iid)]
+            retired.append(sm.squash(local_iid))
+        for entry in retired:
+            self.squashed_threads += 1
+            self._completed_in_block += 1
+            for consumer in entry.consumers:
+                consumer_sm = self.sms[self.tkt.kernel_of(consumer)]
+                if consumer_sm.decrement(consumer):
+                    newly_ready.append(consumer)
+                self.post_updates += 1
+
+    def _spawn(self, subflow: Subflow) -> None:
+        """Expand a spawned subflow into queued dynamic blocks."""
+        graph = subflow.expand()
+        epoch = GraphEpoch(graph)
+        blocks = split_into_blocks(
+            graph,
+            self.tsu_capacity,
+            first_block_id=self._next_block_id,
+            mark_last=False,
+        )
+        self._next_block_id += len(blocks)
+        for blk in blocks:
+            self._epoch_of_block[blk.block_id] = epoch
+            self._pending_dynamic.append(blk)
+        self.spawned_subflows += 1
+        self.dynamic_blocks += len(blocks)
 
     def complete_outlet(self, kernel: int) -> None:
         if self._phase != _Phase.FINISHING:
             raise RuntimeError(f"outlet completion in phase {self._phase}")
         for sm in self.sms:
             sm.clear()
-        if self.current_block.is_last:
+        # Splice blocks spawned during this block directly after it:
+        # dynamic work runs before the remaining static blocks, and a
+        # dynamic block's own spawns nest the same way (depth-first).
+        if self._pending_dynamic:
+            for offset, blk in enumerate(self._pending_dynamic):
+                self.blocks.insert(self._block_idx + 1 + offset, blk)
+            self._pending_dynamic.clear()
+        # Exit on position, not on the is_last flag: spawned blocks may
+        # now follow the statically last block.
+        if self._block_idx == len(self.blocks) - 1:
             self._phase = _Phase.EXITED
         else:
             self._block_idx += 1

@@ -28,6 +28,7 @@ from typing import Generator
 
 from repro.core.block import DDMBlock
 from repro.core.dthread import DThreadInstance
+from repro.core.dynamic import Subflow
 from repro.sim.engine import Engine
 from repro.sim.interconnect import SystemBus
 from repro.sim.mmi import MemoryMappedInterface
@@ -86,14 +87,30 @@ class HardwareTSUAdapter(ProtocolAdapter):
         self.tsu.complete_inlet(kernel)
         self.wake_kernels()
 
+    def resolve_dynamic(
+        self, kernel: int, local_iid: int, outcome: object
+    ) -> Generator:
+        # A spawned subflow's template stream is posted stores into the
+        # TSU's address window, exactly like Inlet metadata (one command
+        # plus store-issue-rate entries); a branch key is encoded in the
+        # completion flag itself and costs nothing extra.
+        if isinstance(outcome, Subflow):
+            per_entry = self.mmi.l1_access_cycles + 2
+            yield from self.mmi.command(lambda: None)
+            yield per_entry * max(outcome.ninstances - 1, 0)
+
     def complete_thread(
-        self, kernel: int, local_iid: int, instance: DThreadInstance
+        self,
+        kernel: int,
+        local_iid: int,
+        instance: DThreadInstance,
+        outcome: object = None,
     ) -> Generator:
         nconsumers = len(self.tsu.current_block.consumers[local_iid])
         # The completion flag is one posted store; internal consumer
         # updates occupy the TSU pipeline but not the CPU.
         yield from self.mmi.command(
-            lambda: self._apply_thread_completion(kernel, local_iid)
+            lambda: self._apply_thread_completion(kernel, local_iid, outcome)
         )
         # Internal update occupancy (overlapped with CPU progress): charge
         # nothing to the kernel, the port hold above already serialises

@@ -32,9 +32,10 @@ from typing import Generator, Optional
 
 from repro.core.block import DDMBlock
 from repro.core.dthread import DThreadInstance
+from repro.core.dynamic import Subflow
 from repro.sim.engine import Engine
 from repro.sim.interconnect import SystemBus
-from repro.sim.mmi import MemoryMappedInterface
+from repro.sim.mmi import InflightGate, MemoryMappedInterface
 from repro.tsu.base import ProtocolAdapter
 from repro.tsu.group import TSUGroup
 
@@ -61,14 +62,21 @@ class MultiGroupHardwareAdapter(ProtocolAdapter):
         self.n_groups = n_groups
         self.intergroup_latency = intergroup_latency
         # Each group device sits on its own network segment with its own
-        # command port.
+        # command port — but all devices front the *same* functional TSU,
+        # so they share one in-flight gate: the DES fast path may only
+        # coalesce an op that is alone in front of the TSU, not merely
+        # alone on its own device (a sibling device's mutation landing in
+        # the window would otherwise be observed at a different logical
+        # instant than on the eager path).
         self.buses = [SystemBus(engine) for _ in range(n_groups)]
+        gate = InflightGate()
         self.mmis = [
             MemoryMappedInterface(
                 engine,
                 bus,
                 tsu_processing_cycles=tsu_processing_cycles,
                 l1_access_cycles=l1_access_cycles,
+                inflight=gate,
             )
             for bus in self.buses
         ]
@@ -79,8 +87,8 @@ class MultiGroupHardwareAdapter(ProtocolAdapter):
         mmi = counters.scope("mmi")
         mmi.inc("commands", sum(m.commands for m in self.mmis))
         mmi.inc("queries", sum(m.queries for m in self.mmis))
-        # Each group's MMI coalesces its own uncontended ops (the fast
-        # path is per-device state, so groups never interfere).  The
+        # Each group's MMI coalesces ops that were alone in front of the
+        # shared TSU (the in-flight gate spans all group devices).  The
         # statistics live under engine.* — the one namespace allowed to
         # differ between TFLUX_FASTPATH on and off.
         engine = counters.scope("engine")
@@ -120,13 +128,28 @@ class MultiGroupHardwareAdapter(ProtocolAdapter):
         self.tsu.complete_inlet(kernel)
         self.wake_kernels()
 
+    def resolve_dynamic(
+        self, kernel: int, local_iid: int, outcome: object
+    ) -> Generator:
+        # Same pricing as the single-group device (hardware.py): spawned
+        # templates stream into the kernel's own group as posted stores.
+        if isinstance(outcome, Subflow):
+            mmi = self._mmi(kernel)
+            per_entry = mmi.l1_access_cycles + 2
+            yield from mmi.command(lambda: None)
+            yield per_entry * max(outcome.ninstances - 1, 0)
+
     def complete_thread(
-        self, kernel: int, local_iid: int, instance: DThreadInstance
+        self,
+        kernel: int,
+        local_iid: int,
+        instance: DThreadInstance,
+        outcome: object = None,
     ) -> Generator:
         cross = self._cross_group_updates(kernel, local_iid)
         mmi = self._mmi(kernel)
         yield from mmi.command(
-            lambda: self._apply_thread_completion(kernel, local_iid)
+            lambda: self._apply_thread_completion(kernel, local_iid, outcome)
         )
         if cross:
             # Inter-group Ready-Count updates travel between the TSU Group

@@ -28,6 +28,11 @@ class ThreadEntry:
     initial_ready_count: int
     consumers: list[int]
     completed: bool = False
+    #: Squashed: every input arc died (unchosen conditional branches /
+    #: squashed producers).  The entry never fires; it is retired at
+    #: squash time and counts toward block completion.  Its Ready Count
+    #: is frozen — decrements from producers that still complete no-op.
+    squashed: bool = False
 
     def decrement(self) -> bool:
         """Post-processing step: one producer completed.  True if now ready."""
@@ -63,7 +68,10 @@ class SynchronizationMemory:
             raise KeyError(f"duplicate load of instance {entry.local_iid}")
         self._entries[entry.local_iid] = entry
         self.loads += 1
-        if entry.ready_count == 0:
+        # A pre-squashed entry (squash-at-load: the branch resolved while
+        # an earlier block ran) never joins the ready queue, even at
+        # Ready Count zero (its dead arcs may all be cross-block).
+        if entry.ready_count == 0 and not entry.squashed:
             heapq.heappush(self._ready, entry.local_iid)
 
     def clear(self) -> None:
@@ -82,10 +90,17 @@ class SynchronizationMemory:
 
     # -- post-processing ---------------------------------------------------
     def decrement(self, local_iid: int) -> bool:
-        """Decrement one entry's Ready Count; enqueue if it became ready."""
+        """Decrement one entry's Ready Count; enqueue if it became ready.
+
+        Squashed entries absorb the update without state change: the
+        producer's data has nowhere to go, and the entry was already
+        retired when its last live input died.
+        """
         entry = self._entries[local_iid]
-        became_ready = entry.decrement()
         self.updates += 1
+        if entry.squashed:
+            return False
+        became_ready = entry.decrement()
         if became_ready:
             heapq.heappush(self._ready, local_iid)
         return became_ready
@@ -99,6 +114,21 @@ class SynchronizationMemory:
                 f"instance {local_iid} completed with ready count "
                 f"{entry.ready_count}"
             )
+        entry.completed = True
+        return entry
+
+    def squash(self, local_iid: int) -> ThreadEntry:
+        """Retire an entry whose every input arc died (never fires).
+
+        Marks it squashed *and* completed in one step; the caller counts
+        it toward block completion and phantom-decrements its consumers.
+        """
+        entry = self._entries[local_iid]
+        if entry.completed or entry.squashed:
+            raise RuntimeError(
+                f"instance {local_iid} squashed after completing/squashing"
+            )
+        entry.squashed = True
         entry.completed = True
         return entry
 

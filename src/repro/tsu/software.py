@@ -32,6 +32,7 @@ from typing import Generator, Optional
 
 from repro.core.block import DDMBlock
 from repro.core.dthread import DThreadInstance
+from repro.core.dynamic import Subflow
 from repro.sim.engine import Engine, Event, Resource, fastpath_enabled
 from repro.tsu.base import ProtocolAdapter
 from repro.tsu.group import TSUGroup
@@ -72,7 +73,10 @@ class SoftwareTSUAdapter(ProtocolAdapter):
         self.costs = costs
         self._fast = fastpath_enabled()
         self._tub_slots = Resource(engine, capacity=costs.tub_segments, name="tub")
-        self._queue: deque[tuple[int, int]] = deque()  # (kernel, local_iid)
+        # (kernel, local_iid, outcome): the TUB entry carries the dynamic
+        # outcome (branch key / spawned Subflow) to the emulator, which
+        # applies it during post-processing.
+        self._queue: deque[tuple[int, int, object]] = deque()
         self._emulator_wake: Optional[Event] = None
         self._emulator_started = False
         self._shutdown = False
@@ -113,14 +117,14 @@ class SoftwareTSUAdapter(ProtocolAdapter):
         costs = self.costs
         while True:
             if self._queue:
-                kernel, local_iid = self._queue.popleft()
+                kernel, local_iid, outcome = self._queue.popleft()
                 nconsumers = len(self.tsu.current_block.consumers[local_iid])
                 busy = costs.emulator_per_item + costs.emulator_per_update * nconsumers
                 yield busy
                 self.emulator_busy_cycles += busy
                 self.emulator_items += 1
                 self.emulator_updates += nconsumers
-                self._apply_thread_completion(kernel, local_iid)
+                self._apply_thread_completion(kernel, local_iid, outcome)
             elif self._shutdown:
                 return
             else:
@@ -138,8 +142,21 @@ class SoftwareTSUAdapter(ProtocolAdapter):
         self.tsu.complete_inlet(kernel)
         self.wake_kernels()
 
+    def resolve_dynamic(
+        self, kernel: int, local_iid: int, outcome: object
+    ) -> Generator:
+        # A spawned subflow's descriptor is a second TUB-sized payload
+        # pushed alongside the completion word; a branch key rides the
+        # completion word itself for free.
+        if isinstance(outcome, Subflow):
+            yield self.costs.tub_push_cycles
+
     def complete_thread(
-        self, kernel: int, local_iid: int, instance: DThreadInstance
+        self,
+        kernel: int,
+        local_iid: int,
+        instance: DThreadInstance,
+        outcome: object = None,
     ) -> Generator:
         # Find a free TUB segment (try/lock; blocking only when all
         # segments are simultaneously held).  A synchronous grant skips
@@ -158,7 +175,7 @@ class SoftwareTSUAdapter(ProtocolAdapter):
                 yield self.costs.tub_push_cycles
             finally:
                 self._tub_slots.release()
-        self._queue.append((kernel, local_iid))
+        self._queue.append((kernel, local_iid, outcome))
         self.tub_pushes += 1
         self._kick_emulator()
 

@@ -20,6 +20,7 @@ import pytest
 
 from repro.apps import get_benchmark, problem_sizes
 from repro.core import ProgramBuilder
+from repro.core.dynamic import Subflow
 from repro.obs import Tracer
 from repro.runtime.native import NativeRuntime
 from repro.runtime.simdriver import SimulatedRuntime, run_sequential_timed
@@ -65,7 +66,60 @@ def build_blocked(tsu_capacity=6):
     return b.build(), tsu_capacity
 
 
-PROGRAMS = {"trapez": build_trapez, "blocked": build_blocked}
+def build_dynspawn():
+    """A data-driven spawn tree: the graph unrolls at run time."""
+    nleaves = 8
+    b = ProgramBuilder("dynspawn")
+    b.env.alloc("leaves", nleaves)
+
+    def make_node(lo, hi):
+        def body(env, _ctx):
+            if hi - lo == 1:
+                env.array("leaves")[lo] = lo + 1
+                return None
+            mid = (lo + hi) // 2
+            sf = Subflow(f"split[{lo}:{hi}]")
+            sf.thread(f"node[{lo}:{mid}]", body=make_node(lo, mid))
+            sf.thread(f"node[{mid}:{hi}]", body=make_node(mid, hi))
+            return sf
+
+        return body
+
+    b.thread("node[root]", body=make_node(0, nleaves))
+    b.epilogue(
+        "sum", body=lambda env: env.set("total", float(env.array("leaves").sum()))
+    )
+    return b.build(), None
+
+
+def build_dyncond():
+    """A conditional diamond with a dead chain: every backend must
+    squash the same instances and fire the join the same way."""
+    b = ProgramBuilder("dyncond")
+    b.env.alloc("out", 5)
+
+    def w(slot, value):
+        return lambda env, _ctx: env.array("out").__setitem__(slot, value)
+
+    t_pick = b.thread("pick", body=lambda env, _ctx: 1)
+    t_left = b.thread("left", body=w(0, 1))
+    t_right = b.thread("right", body=w(1, 2))
+    t_rdead = b.thread("rdead", body=w(2, 3))
+    t_join = b.thread("join", body=w(3, 7))
+    b.cond(t_pick, t_left, 1)
+    b.cond(t_pick, t_right, 2)
+    b.depends(t_right, t_rdead)
+    b.depends(t_left, t_join)
+    b.depends(t_right, t_join)
+    return b.build(), 3
+
+
+PROGRAMS = {
+    "trapez": build_trapez,
+    "blocked": build_blocked,
+    "dynspawn": build_dynspawn,
+    "dyncond": build_dyncond,
+}
 
 
 # -- the three backends --------------------------------------------------------

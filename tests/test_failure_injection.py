@@ -39,12 +39,14 @@ def test_lost_completion_detected_as_stall():
     class DroppyAdapter(SoftwareTSUAdapter):
         dropped = False
 
-        def complete_thread(self, kernel, local_iid, instance):
+        def complete_thread(self, kernel, local_iid, instance, outcome=None):
             if not DroppyAdapter.dropped:
                 DroppyAdapter.dropped = True
                 yield 1  # swallow the completion entirely
                 return
-            yield from super().complete_thread(kernel, local_iid, instance)
+            yield from super().complete_thread(
+                kernel, local_iid, instance, outcome
+            )
 
     rt = SimulatedRuntime(
         simple_program(),

@@ -24,10 +24,11 @@ from collections import Counter as Multiset
 
 import numpy as np
 import pytest
-from hypothesis import HealthCheck, given, settings, strategies as st
+from hypothesis import HealthCheck, example, given, settings, strategies as st
 
 from repro.apps import get_benchmark, problem_sizes
 from repro.core import ProgramBuilder
+from repro.core.dynamic import Subflow
 from repro.obs import Tracer
 from repro.platforms.cellbe import TFluxCell
 from repro.platforms.hard import TFluxHard
@@ -109,7 +110,41 @@ def build_blocked(target):
     return b.build(), 6
 
 
-PROGRAMS = {"trapez": build_trapez, "blocked": build_blocked}
+def build_dynamic(target):
+    """Spawn tree + conditional tail: the dynamic resolve path must be
+    coalescing-safe on every platform."""
+    b = ProgramBuilder("dynamic")
+    b.env.alloc("leaves", 8)
+    b.env.alloc("out", 2)
+
+    def make_node(lo, hi):
+        def body(env, _ctx):
+            if hi - lo == 1:
+                env.array("leaves")[lo] = lo + 1
+                return None
+            mid = (lo + hi) // 2
+            sf = Subflow(f"split[{lo}:{hi}]")
+            sf.thread(f"node[{lo}:{mid}]", body=make_node(lo, mid))
+            sf.thread(f"node[{mid}:{hi}]", body=make_node(mid, hi))
+            return sf
+
+        return body
+
+    t_root = b.thread("node[root]", body=make_node(0, 8))
+    t_pick = b.thread("pick", body=lambda env, _ctx: 2)
+    t_a = b.thread("a", body=lambda env, _c: env.array("out").__setitem__(0, 1))
+    t_b = b.thread("b", body=lambda env, _c: env.array("out").__setitem__(1, 2))
+    b.depends(t_root, t_pick)
+    b.cond(t_pick, t_a, 1)
+    b.cond(t_pick, t_b, 2)
+    return b.build(), None
+
+
+PROGRAMS = {
+    "trapez": build_trapez,
+    "blocked": build_blocked,
+    "dynamic": build_dynamic,
+}
 
 _TARGET = {"hard": "S", "soft": "N", "cell": "C", "multigroup": "S"}
 
@@ -199,26 +234,46 @@ def test_fastpath_default_is_on(monkeypatch):
 # -- random DAGs ---------------------------------------------------------------
 @st.composite
 def dag_programs(draw):
-    """A random fork/join pipeline: stage widths, dep kinds, capacity."""
+    """A random fork/join pipeline: stage widths, dep kinds, capacity,
+    and optionally a dynamically spawned last stage."""
     nstages = draw(st.integers(min_value=1, max_value=3))
     widths = [draw(st.integers(min_value=1, max_value=6)) for _ in range(nstages)]
     reduce_tail = draw(st.booleans())
+    spawn = draw(st.booleans())
     cap = draw(st.sampled_from([None, 4, 8]))
     nkernels = draw(st.integers(min_value=1, max_value=4))
-    return widths, reduce_tail, cap, nkernels
+    return widths, reduce_tail, spawn, cap, nkernels
 
 
-def build_dag(widths, reduce_tail):
+def build_dag(widths, reduce_tail, spawn=False):
     b = ProgramBuilder("dag")
     for j, w in enumerate(widths):
         b.env.alloc(f"a{j}", w)
+    if spawn:
+        b.env.alloc("sp", widths[-1])
+
+    last_stage = len(widths) - 1
 
     def stage_body(j):
-        if j == 0:
-            return lambda env, i: env.array("a0").__setitem__(i, float(i + 1))
-        return lambda env, i: env.array(f"a{j}").__setitem__(
-            i, float(env.array(f"a{j-1}").sum()) + i
-        )
+        def body(env, i):
+            if j == 0:
+                env.array("a0")[i] = float(i + 1)
+            else:
+                env.array(f"a{j}")[i] = float(env.array(f"a{j-1}").sum()) + i
+            if spawn and j == last_stage:
+                # Every instance of the last stage spawns one dynamic
+                # worker — several subflows land in one block round.
+                sf = Subflow(f"sp[{i}]")
+                sf.thread(
+                    f"sp[{i}]",
+                    body=lambda env, _c, i=i: env.array("sp").__setitem__(
+                        i, float(i + 100)
+                    ),
+                )
+                return sf
+            return None
+
+        return body
 
     threads = []
     for j, w in enumerate(widths):
@@ -247,15 +302,32 @@ def build_dag(widths, reduce_tail):
     suppress_health_check=[HealthCheck.too_slow],
 )
 @given(params=dag_programs())
+# Hypothesis's falsifying example for the pre-fix multigroup divergence
+# (ROADMAP item 1): with 2 TSU groups and 3 kernels, an intergroup
+# Ready-Count transfer landing in the coalescing window made one kernel's
+# final EXIT fetch take an extra eager round (334 vs 340 cycles).  Pinned
+# so the shared in-flight gate in sim/mmi.py can never regress silently.
+@example(params=([1, 6], False, False, 4, 3))
+# The spawning variant of the same shape: every last-stage instance
+# ships a Subflow through the dynamic resolve path while the coalescing
+# window is open.
+@example(params=([1, 6], False, True, 4, 3))
+# Falsifier for the lazy-release equality bug: two multigroup devices
+# finish their TSU accesses on the same cycle a sibling kernel's bus
+# hold expires; `Resource._expire_lazy` treating an exactly-at-now lazy
+# deadline as already free let the coalesced reply jump same-cycle FIFO
+# arbitration and steal the next ready fetch from the kernel the eager
+# schedule gives it to (same cycles, swapped per-kernel waits).
+@example(params=([3, 2], False, False, None, 4))
 def test_fastpath_bit_identical_random_dags(platform_key, params):
-    widths, reduce_tail, cap, nkernels = params
+    widths, reduce_tail, spawn, cap, nkernels = params
     machine, factory = _platform(platform_key)
     if platform_key == "multigroup":
         nkernels = max(nkernels, 2)  # need >= n_groups kernels
 
     def go():
         return SimulatedRuntime(
-            build_dag(widths, reduce_tail),
+            build_dag(widths, reduce_tail, spawn),
             machine,
             nkernels=nkernels,
             adapter_factory=factory,

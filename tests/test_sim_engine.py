@@ -196,7 +196,12 @@ def test_resource_fifo_grant_order():
 
 def test_resource_try_acquire_and_lazy_release():
     """The fast-path primitives: a synchronous grant costs no events and
-    a lazy release frees the slot exactly at its deadline."""
+    a lazy release frees the slot strictly *after* its deadline.  At the
+    deadline itself the release is still in flight (on the eager path it
+    is an event later in the same cycle's sequence order), so the
+    synchronous grant must refuse and send the requester through the
+    queued protocol — granting at the deadline cycle, but with the FIFO
+    sequence numbering the slow path produces."""
     eng = Engine()
     res = Resource(eng, capacity=1, name="bus")
     before = eng.events_scheduled
@@ -208,9 +213,12 @@ def test_resource_try_acquire_and_lazy_release():
 
     def late_user(eng, res):
         yield 10
-        # The lazy hold has expired by its deadline: a requester at the
-        # deadline itself gets the slot synchronously.
-        assert res.try_acquire()
+        # At the deadline the hold has not passively expired ...
+        assert not res.try_acquire()
+        # ... but a queued request is granted at this exact cycle via a
+        # materialised release event.
+        grant = res.request()
+        yield grant
         timeline.append(eng.now)
         res.release()
 
