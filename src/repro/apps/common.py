@@ -147,6 +147,29 @@ def problem_sizes(bench: str, target: str = "S") -> Dict[str, ProblemSize]:
 
 
 # -- decomposition helpers -----------------------------------------------------
+#: Graph-construction modes every app's ``build`` accepts: arcs declared
+#: by hand (the paper's DDMCPP style) or derived from the DThreads'
+#: access summaries (:meth:`~repro.core.builder.ProgramBuilder.auto_depends`).
+DEPS_MODES = ("declared", "derived")
+
+
+def finish_graph(builder, deps: str, declare) -> None:
+    """Close a builder's graph in the requested *deps* mode.
+
+    ``"declared"`` runs *declare()* (the hand-written ``depends`` calls);
+    ``"derived"`` computes the arcs from the access summaries instead.
+    Control arcs that carry no data (conditional arcs, arcs into threads
+    without accesses) must be declared outside *declare* — the deriver
+    cannot see them in either mode.
+    """
+    if deps not in DEPS_MODES:
+        raise ValueError(f"deps must be one of {DEPS_MODES}, got {deps!r}")
+    if deps == "declared":
+        declare()
+    else:
+        builder.auto_depends()
+
+
 def nthreads_for(base_iterations: int, unroll: int) -> int:
     """DThread count for a parallel loop of *base_iterations* units.
 

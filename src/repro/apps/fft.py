@@ -46,7 +46,11 @@ class FFT:
     name = "fft"
 
     def build(
-        self, size: ProblemSize, unroll: int = 1, max_threads: int = 4096
+        self,
+        size: ProblemSize,
+        unroll: int = 1,
+        max_threads: int = 4096,
+        deps: str = "declared",
     ) -> DDMProgram:
         n = size.params["n"]
         nthreads = min(common.nthreads_for(n, unroll), max_threads, n)
@@ -125,7 +129,6 @@ class FFT:
             "fft_cols", body=cols_body, contexts=nthreads,
             cost=cols_cost, accesses=cols_accesses,
         )
-        b.depends(t_rows, t_cols, "all")
 
         # -- phase 3: NAS-style checksum -------------------------------------------
         def cksum_body(env, i):
@@ -149,7 +152,6 @@ class FFT:
             "checksum", body=cksum_body, contexts=nthreads,
             cost=cksum_cost, accesses=cksum_accesses,
         )
-        b.depends(t_cols, t_cksum, "all")
 
         def reduce_body(env, _):
             env.set("checksum", complex(env.array("parts").sum()))
@@ -162,7 +164,12 @@ class FFT:
                 reg_parts, count=nthreads, elem_size=COMPLEX_BYTES
             ),
         )
-        b.depends(t_cksum, t_reduce, "all")
+        def declare():
+            b.depends(t_rows, t_cols, "all")
+            b.depends(t_cols, t_cksum, "all")
+            b.depends(t_cksum, t_reduce, "all")
+
+        common.finish_graph(b, deps, declare)
         return b.build()
 
     def verify(self, env, size: ProblemSize) -> None:

@@ -31,7 +31,11 @@ class MMult:
     name = "mmult"
 
     def build(
-        self, size: ProblemSize, unroll: int = 1, max_threads: int = 4096
+        self,
+        size: ProblemSize,
+        unroll: int = 1,
+        max_threads: int = 4096,
+        deps: str = "declared",
     ) -> DDMProgram:
         n = size.params["n"]
         nthreads = min(common.nthreads_for(n, unroll), max_threads, n)
@@ -85,6 +89,9 @@ class MMult:
             cost=rows_cost,
             accesses=rows_accesses,
         )
+        # Row chunks are independent (the deriver confirms: no arcs in
+        # either mode — C chunks are disjoint, A/B only ever read).
+        common.finish_graph(b, deps, lambda: None)
         return b.build()
 
     def verify(self, env, size: ProblemSize) -> None:

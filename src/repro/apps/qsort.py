@@ -68,7 +68,11 @@ class QSort:
     name = "qsort"
 
     def build(
-        self, size: ProblemSize, unroll: int = 1, max_threads: int = 4096
+        self,
+        size: ProblemSize,
+        unroll: int = 1,
+        max_threads: int = 4096,
+        deps: str = "declared",
     ) -> DDMProgram:
         n = size.params["n"]
         nparts = max(MERGE_GROUPS, min(common.nthreads_for(BASE_PARTS, unroll), max_threads, n))
@@ -163,8 +167,6 @@ class QSort:
             cost=merge1_cost,
             accesses=merge1_accesses,
         )
-        # sort part i feeds the level-1 merge of its group.
-        b.depends(t_sort, t_merge1, mapping=lambda i: [i * MERGE_GROUPS // nparts])
 
         # -- phase 3: final merge (the bottleneck) ---------------------------------
         def merge2_body(env, _):
@@ -185,7 +187,12 @@ class QSort:
         t_merge2 = b.thread(
             "merge2", body=merge2_body, cost=merge2_cost, accesses=merge2_accesses
         )
-        b.depends(t_merge1, t_merge2, "all")
+        def declare():
+            # sort part i feeds the level-1 merge of its group.
+            b.depends(t_sort, t_merge1, mapping=lambda i: [i * MERGE_GROUPS // nparts])
+            b.depends(t_merge1, t_merge2, "all")
+
+        common.finish_graph(b, deps, declare)
         return b.build()
 
     def verify(self, env, size: ProblemSize) -> None:

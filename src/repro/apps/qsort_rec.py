@@ -41,7 +41,11 @@ class QSortRec:
     name = "qsort_rec"
 
     def build(
-        self, size: ProblemSize, unroll: int = 1, max_threads: int = 4096
+        self,
+        size: ProblemSize,
+        unroll: int = 1,
+        max_threads: int = 4096,
+        deps: str = "declared",
     ) -> DDMProgram:
         n = size.params["n"]
         nleaves = max(1, min(common.nthreads_for(BASE_LEAVES, unroll), max_threads, n))
@@ -126,7 +130,11 @@ class QSortRec:
             accesses=lambda env, _c: range_accesses(0, n),
         )
         b.thread("done", body=lambda env, _c: env.set("sorted", True))
+        # Control arc: "done" is opaque (no access summary), so the
+        # deriver cannot see this ordering — it stays declared in both
+        # deps modes and auto_depends adds nothing on top.
         b.depends(1, 2)
+        common.finish_graph(b, deps, lambda: None)
         return b.build()
 
     def verify(self, env, size: ProblemSize) -> None:

@@ -55,7 +55,11 @@ class Quad:
     name = "quad"
 
     def build(
-        self, size: ProblemSize, unroll: int = 1, max_threads: int = 4096
+        self,
+        size: ProblemSize,
+        unroll: int = 1,
+        max_threads: int = 4096,
+        deps: str = "declared",
     ) -> DDMProgram:
         # The unroll factor keeps its coarsening meaning: it relaxes the
         # tolerance, producing fewer, coarser leaf intervals.
@@ -113,9 +117,13 @@ class Quad:
         t_refined = b.thread(
             "refined", body=lambda env, _c: env.set("verdict", "refined")
         )
+        # Control/conditional arcs: every thread here is opaque (no access
+        # summaries), so these stay declared in both deps modes and the
+        # deriver has nothing to add.
         b.depends(t_root, t_check)
         b.cond(t_check, t_direct, "direct")
         b.cond(t_check, t_refined, "refined")
+        common.finish_graph(b, deps, lambda: None)
 
         def total_body(env):
             env.set("total", sum(v for _a, v in sorted(env.get("contribs"))))

@@ -77,7 +77,11 @@ class Susan:
     name = "susan"
 
     def build(
-        self, size: ProblemSize, unroll: int = 1, max_threads: int = 4096
+        self,
+        size: ProblemSize,
+        unroll: int = 1,
+        max_threads: int = 4096,
+        deps: str = "declared",
     ) -> DDMProgram:
         w, h = size.params["w"], size.params["h"]
         nthreads = min(common.nthreads_for(h, unroll), max_threads, h)
@@ -137,7 +141,6 @@ class Susan:
             "smooth", body=smooth_body, contexts=nthreads, cost=smooth_cost,
             accesses=smooth_accesses,
         )
-        b.depends(t_init, t_smooth, "all")
 
         # -- phase 3: write-out --------------------------------------------------------
         def out_body(env, i):
@@ -164,7 +167,14 @@ class Susan:
             "output", body=out_body, contexts=nthreads, cost=out_cost,
             accesses=out_accesses,
         )
-        b.depends(t_smooth, t_out, "all")
+        def declare():
+            # The paper's barriers; the deriver instead finds the exact
+            # halo-shaped init->smooth map and a "same" smooth->output arc
+            # (check_deps flags the "all" arcs below as over-wide).
+            b.depends(t_init, t_smooth, "all")
+            b.depends(t_smooth, t_out, "all")
+
+        common.finish_graph(b, deps, declare)
         return b.build()
 
     def verify(self, env, size: ProblemSize) -> None:

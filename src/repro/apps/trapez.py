@@ -46,7 +46,11 @@ class Trapez:
     name = "trapez"
 
     def build(
-        self, size: ProblemSize, unroll: int = 1, max_threads: int = 4096
+        self,
+        size: ProblemSize,
+        unroll: int = 1,
+        max_threads: int = 4096,
+        deps: str = "declared",
     ) -> DDMProgram:
         k = size.params["k"]
         n = 1 << k
@@ -94,7 +98,7 @@ class Trapez:
         t_reduce = b.thread(
             "reduce", body=reduce_body, cost=reduce_cost, accesses=reduce_accesses
         )
-        b.depends(t_chunk, t_reduce, "all")
+        common.finish_graph(b, deps, lambda: b.depends(t_chunk, t_reduce, "all"))
         return b.build()
 
     def verify(self, env, size: ProblemSize) -> None:

@@ -50,7 +50,13 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--platform", choices=sorted(_PLATFORMS), default="hard")
     parser.add_argument("--kernels", type=int, default=0, help="0 = platform max")
     parser.add_argument("--size", choices=("small", "medium", "large"), default="small")
-    parser.add_argument("--unroll", type=int, default=0, help="0 = best over grid")
+    parser.add_argument(
+        "--unroll",
+        default="0",
+        help="a fixed unroll factor, 0 = best over the full grid, or "
+        "'auto' = adaptive search (coarse probes + local refinement, "
+        "same winner as the grid in fewer simulations)",
+    )
     parser.add_argument(
         "--nodes",
         type=int,
@@ -109,7 +115,29 @@ def main(argv: list[str] | None = None) -> int:
         "with the engine fast path on and off and print an events/instance "
         "+ sec/run comparison table",
     )
+    parser.add_argument(
+        "--check-deps",
+        action="store_true",
+        help="instead of evaluating, diagnose the benchmark's declared "
+        "synchronization graph against the dependence graph derived from "
+        "its access summaries; exit 1 if any dependence is missing",
+    )
     args = parser.parse_args(argv)
+    if args.unroll != "auto":
+        # Mirror the evaluate-path error contract (stderr + exit code 2,
+        # not argparse's SystemExit) — the CLI tests rely on it.
+        try:
+            args.unroll = int(args.unroll)
+        except ValueError:
+            args.unroll = -1
+        if args.unroll < 0:
+            import sys
+
+            print(
+                "tflux-run: error: --unroll must be a factor >= 0 or 'auto'",
+                file=sys.stderr,
+            )
+            return 2
 
     # The exec layer reads the knobs from the environment at call time;
     # flags simply override it for this invocation.
@@ -142,7 +170,17 @@ def main(argv: list[str] | None = None) -> int:
     else:
         platform = _PLATFORMS[args.platform]()
     size = problem_sizes(args.benchmark, platform.target)[args.size]
-    unrolls = (args.unroll,) if args.unroll else (1, 2, 4, 8, 16, 32, 64)
+
+    if args.check_deps:
+        return _check_deps(args.benchmark, size,
+                           args.unroll if isinstance(args.unroll, int) else 0)
+
+    if args.unroll == "auto":
+        unrolls: tuple[int, ...] | str = "auto"
+    elif args.unroll:
+        unrolls = (args.unroll,)
+    else:
+        unrolls = (1, 2, 4, 8, 16, 32, 64)
 
     if args.sweep and args.platform == "dist":
         # On dist the interesting axis is node count, not kernels within
@@ -194,6 +232,18 @@ def main(argv: list[str] | None = None) -> int:
         print(f"tflux-run: error: {exc}", file=sys.stderr)
         return 2
     return 0
+
+
+def _check_deps(bench_name: str, size, unroll: int) -> int:
+    """Diagnose the benchmark's declared graph against the derived one."""
+    from repro.apps import get_benchmark
+    from repro.core.deps import check_deps
+
+    prog = get_benchmark(bench_name).build(size, unroll=unroll or 1)
+    report = check_deps(prog)
+    print(f"{bench_name} ({size}):")
+    print(report.format())
+    return 0 if report.ok else 1
 
 
 def _write_trace(path: str, platform, bench_name: str, size, evaluation) -> None:

@@ -18,16 +18,32 @@ This subpackage defines the machine-independent entities of §2 and §3:
   behaviour.
 * :class:`~repro.core.builder.ProgramBuilder` — the construction API used
   by the preprocessor back-end, the decorator front-end, and the apps.
+* :mod:`repro.core.regions` — the shared region algebra (byte intervals,
+  line tables, segment spaces) used by the dependence deriver and the
+  distributed owner map.
+* :mod:`repro.core.deps` — the Couillard-style dependence deriver: computes
+  the synchronization graph from per-thread access summaries
+  (:func:`~repro.core.deps.derive`, :meth:`ProgramBuilder.auto_depends`)
+  and diagnoses declared graphs against it
+  (:func:`~repro.core.deps.check_deps`).
 """
 
 from repro.core.context import Context, CTX_ALL
 from repro.core.dthread import DThreadInstance, DThreadTemplate, ThreadKind
 from repro.core.dynamic import GraphEpoch, Subflow
 from repro.core.environment import Environment
-from repro.core.graph import Arc, SynchronizationGraph
+from repro.core.graph import Arc, GraphError, SynchronizationGraph
 from repro.core.block import DDMBlock
 from repro.core.program import DDMProgram, ProgramReusedError
 from repro.core.builder import ProgramBuilder
+from repro.core.deps import (
+    ContextMap,
+    DepsReport,
+    Derivation,
+    DerivationError,
+    check_deps,
+    derive,
+)
 
 __all__ = [
     "Context",
@@ -39,9 +55,16 @@ __all__ = [
     "Subflow",
     "Environment",
     "Arc",
+    "GraphError",
     "SynchronizationGraph",
     "DDMBlock",
     "DDMProgram",
     "ProgramReusedError",
     "ProgramBuilder",
+    "ContextMap",
+    "DepsReport",
+    "Derivation",
+    "DerivationError",
+    "check_deps",
+    "derive",
 ]

@@ -112,6 +112,31 @@ class ProgramBuilder:
         c = consumer.tid if isinstance(consumer, DThreadTemplate) else consumer
         return self.graph.add_arc(p, c, mapping, cond_key=key)
 
+    def auto_depends(self, templates: Optional[Iterable[int]] = None):
+        """Derive arcs from the threads' declared access summaries.
+
+        Computes the write→read / write→write / read→write ordering arcs
+        implied by each template's ``accesses`` declarations
+        (:mod:`repro.core.deps`) and adds them to the graph.  Template
+        pairs that already have a *declared* direct arc are skipped —
+        the programmer's arc takes precedence and the ``--check-deps``
+        diagnosis judges its adequacy.  Threads without ``accesses`` are
+        opaque and contribute nothing (keep explicit ``depends`` for
+        them).  Returns the arcs added.
+        """
+        from repro.core.deps import derive
+
+        derivation = derive(self.graph, self.env, templates=templates)
+        declared = {(a.producer, a.consumer) for a in self.graph.arcs}
+        added = []
+        for spec in derivation.template_arcs():
+            if (spec.producer, spec.consumer) in declared:
+                continue
+            added.append(
+                self.graph.add_arc(spec.producer, spec.consumer, spec.mapping)
+            )
+        return added
+
     # -- sequential sections --------------------------------------------------
     def prologue(
         self,

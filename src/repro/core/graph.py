@@ -39,6 +39,34 @@ class GraphError(ValueError):
     """Raised for malformed synchronization graphs."""
 
 
+def _same_mapping(a: "Mapping", b: "Mapping") -> bool:
+    """Whether two arc mappings contribute identical Ready Counts.
+
+    String mappings compare by value, derived
+    :class:`~repro.core.deps.ContextMap` mappings by table, arbitrary
+    callables by identity (the one comparison that can never misjudge
+    an opaque function).  An *identical* re-declaration is a legitimate
+    double token; anything else changes the consumer's Ready Count.
+    """
+    if a is b:
+        return True
+    if isinstance(a, str) or isinstance(b, str):
+        return a == b
+    table_a = getattr(a, "table", None)
+    table_b = getattr(b, "table", None)
+    if table_a is not None and table_b is not None:
+        return table_a == table_b
+    return False
+
+
+def _describe_mapping(m: "Mapping") -> str:
+    if isinstance(m, str):
+        return repr(m)
+    if getattr(m, "table", None) is not None:
+        return f"derived {type(m).__name__}"
+    return getattr(m, "__name__", None) or repr(m)
+
+
 @dataclass(frozen=True)
 class Arc:
     """A producer→consumer dependence between two templates.
@@ -133,6 +161,24 @@ class SynchronizationGraph:
                 raise GraphError(f"arc references unknown template {tid}")
         if producer == consumer:
             raise GraphError("self-dependence arcs are not allowed")
+        for prior in self._arcs:
+            if (
+                prior.producer == producer
+                and prior.consumer == consumer
+                and prior.cond_key == cond_key
+                and not _same_mapping(prior.mapping, mapping)
+            ):
+                names = (
+                    f"{self._templates[producer].name} -> "
+                    f"{self._templates[consumer].name}"
+                )
+                raise GraphError(
+                    f"arc {names} declared twice with different mappings "
+                    f"({_describe_mapping(prior.mapping)} vs "
+                    f"{_describe_mapping(mapping)}): the two declarations "
+                    "contribute different Ready Counts — declare each "
+                    "distinct dependence once"
+                )
         arc = Arc(producer, consumer, mapping, cond_key)
         self._arcs.append(arc)
         return arc

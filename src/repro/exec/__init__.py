@@ -22,6 +22,7 @@ from repro.exec.cache import (
 )
 from repro.exec.pool import (
     ENV_JOBS,
+    UNROLL_LADDER,
     EvalRequest,
     JobOutcome,
     JobSpec,
@@ -35,6 +36,7 @@ from repro.exec.pool import (
 __all__ = [
     "ENV_CACHE_DIR",
     "ENV_JOBS",
+    "UNROLL_LADDER",
     "ResultCache",
     "cache_from_env",
     "describe",

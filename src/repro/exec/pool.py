@@ -53,6 +53,7 @@ __all__ = [
     "JobSpec",
     "JobOutcome",
     "EvalRequest",
+    "UNROLL_LADDER",
     "job_count",
     "run_jobs",
     "evaluate_many",
@@ -257,15 +258,35 @@ def run_jobs(
 
 
 # -- the paper's measurement protocol, batched --------------------------------
+
+#: The canonical A2 unroll grid (Table 2's ladder).
+UNROLL_LADDER = (1, 2, 4, 8, 16, 32, 64)
+
+#: Initial probes of the ``unrolls="auto"`` adaptive search: the two
+#: extremes plus the ladder midpoint.
+_AUTO_PROBES = (1, 8, 64)
+
+
 @dataclass(frozen=True)
 class EvalRequest:
-    """One figure cell: best-over-unrolls speedup for (bench, size, nk)."""
+    """One figure cell: best-over-unrolls speedup for (bench, size, nk).
+
+    ``unrolls`` is either an explicit grid (every factor simulated) or
+    the string ``"auto"``: an adaptive search over :data:`UNROLL_LADDER`
+    that probes the extremes and midpoint, then hill-climbs by
+    simulating the unevaluated ladder neighbours of the current best
+    until the best is bracketed.  Ties keep the earliest unroll — the
+    same rule as the full grid — so equal-speedup plateaus slide left.
+    Typical cells finish in 4–6 simulations instead of 7; every
+    simulation still routes through the same job specs, process pool and
+    content-addressed disk cache as the full grid.
+    """
 
     platform: "Platform"
     bench: str
     size: "ProblemSize"
     nkernels: int
-    unrolls: tuple[int, ...] = (1, 2, 4, 8, 16, 32, 64)
+    unrolls: "tuple[int, ...] | str" = UNROLL_LADDER
     verify: bool = True
     max_threads: int = 4096
 
@@ -304,6 +325,42 @@ def _baseline_spec(req: EvalRequest) -> JobSpec:
     )
 
 
+def _par_spec(req: EvalRequest, unroll: int) -> JobSpec:
+    return JobSpec(
+        platform=req.platform,
+        bench=req.bench,
+        size=req.size,
+        nkernels=req.nkernels,
+        unroll=unroll,
+        max_threads=req.max_threads,
+        verify=req.verify,
+        mode="execute",
+    )
+
+
+def _auto_frontier(
+    evaluated: dict[int, JobOutcome], seq_cycles: int
+) -> list[int]:
+    """Next unrolls the adaptive search wants: the unevaluated ladder
+    neighbours of the current best (earliest-tie-break, same rule as
+    :func:`_assemble`).  Empty means the best is bracketed — done."""
+    best_u: Optional[int] = None
+    best_s: Optional[float] = None
+    for u in UNROLL_LADDER:
+        if u not in evaluated:
+            continue
+        s = seq_cycles / evaluated[u].measured_cycles
+        if best_s is None or s > best_s:
+            best_u, best_s = u, s
+    assert best_u is not None
+    k = UNROLL_LADDER.index(best_u)
+    return [
+        UNROLL_LADDER[j]
+        for j in (k - 1, k + 1)
+        if 0 <= j < len(UNROLL_LADDER) and UNROLL_LADDER[j] not in evaluated
+    ]
+
+
 def evaluate_many(
     requests: Sequence[EvalRequest],
     jobs: Optional[int] = None,
@@ -319,25 +376,34 @@ def evaluate_many(
     memoised in-process so later batches of the same sweep pay nothing.
     Each unroll's speedup is measured against that baseline; ties keep
     the earliest unroll.
+
+    ``unrolls="auto"`` cells start with the :data:`_AUTO_PROBES` rungs in
+    the same first batch, then refine in batched rounds: each round
+    simulates, for every still-active auto cell, the unevaluated ladder
+    neighbours of its current best — all cells' round jobs share one
+    pool invocation and one cache pass.
     """
     requests = list(requests)
+    if cache is _ENV_CACHE:
+        cache = cache_from_env()
+    grids: list[Optional[tuple[int, ...]]] = []
+    for req in requests:
+        if isinstance(req.unrolls, str):
+            if req.unrolls != "auto":
+                raise ValueError(
+                    f"unrolls must be a tuple of factors or 'auto', "
+                    f"got {req.unrolls!r}"
+                )
+            grids.append(None)
+        else:
+            grids.append(tuple(req.unrolls))
+
     par_specs: list[JobSpec] = []
     slices: list[tuple[int, int]] = []
-    for req in requests:
+    for req, grid in zip(requests, grids):
         start = len(par_specs)
-        for unroll in req.unrolls:
-            par_specs.append(
-                JobSpec(
-                    platform=req.platform,
-                    bench=req.bench,
-                    size=req.size,
-                    nkernels=req.nkernels,
-                    unroll=unroll,
-                    max_threads=req.max_threads,
-                    verify=req.verify,
-                    mode="execute",
-                )
-            )
+        for unroll in (grid if grid is not None else _AUTO_PROBES):
+            par_specs.append(_par_spec(req, unroll))
         slices.append((start, len(par_specs)))
 
     # One baseline job per distinct cell not already memoised; baselines
@@ -358,15 +424,44 @@ def evaluate_many(
     seq_outcomes = outcomes[len(par_specs):]
     for digest, pos in seq_position.items():
         _BASELINE_MEMO[digest] = seq_outcomes[pos]
+
+    evaluated: list[dict[int, JobOutcome]] = [
+        dict(zip(grid if grid is not None else _AUTO_PROBES, outcomes[a:b]))
+        for grid, (a, b) in zip(grids, slices)
+    ]
+
+    # Adaptive refinement rounds, batched across every auto cell.
+    active = [i for i, grid in enumerate(grids) if grid is None]
+    while active:
+        round_specs: list[JobSpec] = []
+        owners: list[tuple[int, int]] = []
+        still: list[int] = []
+        for i in active:
+            seq_cycles = _BASELINE_MEMO[seq_digests[i]].seq_cycles
+            assert seq_cycles is not None
+            frontier = _auto_frontier(evaluated[i], seq_cycles)
+            if frontier:
+                still.append(i)
+                for unroll in frontier:
+                    round_specs.append(_par_spec(requests[i], unroll))
+                    owners.append((i, unroll))
+        if not round_specs:
+            break
+        for (i, unroll), outcome in zip(
+            owners, run_jobs(round_specs, jobs=jobs, cache=cache)
+        ):
+            evaluated[i][unroll] = outcome
+        active = still
+
     return [
-        _assemble(req, outcomes[a:b], _BASELINE_MEMO[digest])
-        for req, (a, b), digest in zip(requests, slices, seq_digests)
+        _assemble(req, evaluated[i], _BASELINE_MEMO[seq_digests[i]])
+        for i, req in enumerate(requests)
     ]
 
 
 def _assemble(
     req: EvalRequest,
-    outcomes: Sequence[JobOutcome],
+    evaluated: dict[int, JobOutcome],
     seq_outcome: JobOutcome,
 ) -> "Evaluation":
     from repro.platforms.base import Evaluation
@@ -375,7 +470,8 @@ def _assemble(
     assert seq_best is not None
     best: Optional[tuple[float, int, int, Optional["RunRecord"]]] = None
     per_unroll: dict[int, float] = {}
-    for unroll, outcome in zip(req.unrolls, outcomes):
+    for unroll in sorted(evaluated):
+        outcome = evaluated[unroll]
         par_cycles = outcome.measured_cycles
         speedup = seq_best / par_cycles
         per_unroll[unroll] = speedup

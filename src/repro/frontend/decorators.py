@@ -21,10 +21,19 @@ DependSpec = Union[ProducerRef, tuple[ProducerRef, Union[str, Callable]]]
 class DDM:
     """A DDM program under construction via decorators."""
 
-    def __init__(self, name: str, env: Optional[Environment] = None) -> None:
+    def __init__(
+        self,
+        name: str,
+        env: Optional[Environment] = None,
+        auto_depends: bool = False,
+    ) -> None:
         self._builder = ProgramBuilder(name, env=env)
         self._templates: dict[Callable, DThreadTemplate] = {}
         self._built: Optional[DDMProgram] = None
+        #: Derive arcs from the threads' ``accesses`` declarations at
+        #: build time (:meth:`ProgramBuilder.auto_depends`) — explicit
+        #: ``depends=[...]`` specs keep precedence per template pair.
+        self._auto_depends = auto_depends
 
     @property
     def env(self) -> Environment:
@@ -97,5 +106,7 @@ class DDM:
     def build(self) -> DDMProgram:
         """Validate and return the program (idempotent)."""
         if self._built is None:
+            if self._auto_depends:
+                self._builder.auto_depends()
             self._built = self._builder.build()
         return self._built

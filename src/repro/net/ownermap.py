@@ -25,6 +25,12 @@ word is exactly the node-presence width of the two-level sharer
 directory (:mod:`repro.sim.capability`), so the copy set covers every
 representable machine — up to :data:`~repro.sim.capability.MAX_NODES`
 nodes — without a second level.
+
+The geometry lives in :mod:`repro.core.regions` (the shared region
+algebra): sweeps become line-index vectors through
+:func:`~repro.core.regions.op_line_index` and the per-line state arrays
+are :class:`~repro.core.regions.LineTable` rows — this module only
+replays the ownership protocol over them.
 """
 
 from __future__ import annotations
@@ -33,6 +39,7 @@ from typing import Dict, Iterable
 
 import numpy as np
 
+from repro.core.regions import LineTable, op_line_index
 from repro.sim.accesses import AccessSummary, Region
 from repro.sim.capability import check_nodes
 
@@ -43,17 +50,14 @@ class RegionOwnerMap:
     """Per-line writer tracking across the nodes of one TFluxDist run."""
 
     def __init__(self, regions: Iterable[Region], line_size: int, nnodes: int) -> None:
-        if line_size <= 0:
-            raise ValueError(f"line size must be positive, got {line_size}")
         check_nodes(nnodes, what="RegionOwnerMap")
         self.line_size = line_size
         self.nnodes = nnodes
-        self._owner: Dict[str, np.ndarray] = {}
-        self._copies: Dict[str, np.ndarray] = {}
+        self._owner = LineTable(line_size, np.int8, -1)
+        self._copies = LineTable(line_size, np.uint64, 0)
         for region in regions:
-            nlines = region.lines(line_size)
-            self._owner[region.name] = np.full(nlines, -1, dtype=np.int8)
-            self._copies[region.name] = np.zeros(nlines, dtype=np.uint64)
+            self._owner.add(region)
+            self._copies.add(region)
 
     def access(self, node: int, summary: AccessSummary) -> Dict[int, int]:
         """Apply *summary* as executed on *node*; return pull sizes.
@@ -68,20 +72,12 @@ class RegionOwnerMap:
         pulls: Dict[int, int] = {}
         mybit = np.uint64(1 << node)
         for op in summary:
-            owner = self._owner.get(op.region.name)
-            if owner is None:
-                # Region declared after map construction (never happens
-                # for built programs, whose env is frozen at build time).
-                nlines = op.region.lines(self.line_size)
-                owner = self._owner[op.region.name] = np.full(nlines, -1, dtype=np.int8)
-                self._copies[op.region.name] = np.zeros(nlines, dtype=np.uint64)
-            copies = self._copies[op.region.name]
-            lines = op.line_indices(self.line_size)
-            idx = (
-                slice(lines.start, lines.stop)
-                if isinstance(lines, range)
-                else np.asarray(lines, dtype=np.intp)
-            )
+            # Rows materialise lazily for regions declared after map
+            # construction (never happens for built programs, whose env
+            # is frozen at build time).
+            owner = self._owner.row(op.region)
+            copies = self._copies.row(op.region)
+            idx = op_line_index(op, self.line_size)
             if op.is_write:
                 owner[idx] = node
                 copies[idx] = mybit
@@ -97,4 +93,4 @@ class RegionOwnerMap:
 
     def lines_owned_by(self, node: int) -> int:
         """Diagnostic: lines whose last writer is *node*."""
-        return int(sum((o == node).sum() for o in self._owner.values()))
+        return int(sum((o == node).sum() for o in self._owner.rows()))

@@ -134,7 +134,7 @@ class Platform:
         bench: Benchmark,
         size: ProblemSize,
         nkernels: int,
-        unrolls: Sequence[int] = (1, 2, 4, 8, 16, 32, 64),
+        unrolls: "Sequence[int] | str" = (1, 2, 4, 8, 16, 32, 64),
         verify: bool = True,
         max_threads: int = 4096,
     ) -> Evaluation:
@@ -148,7 +148,10 @@ class Platform:
         memoised across calls — see
         :mod:`repro.exec.pool`.  The unroll search runs through
         :mod:`repro.exec` — set ``TFLUX_JOBS`` to parallelise it and
-        ``TFLUX_CACHE_DIR`` to memoise results on disk.
+        ``TFLUX_CACHE_DIR`` to memoise results on disk.  Pass
+        ``unrolls="auto"`` for the adaptive search: coarse probes plus
+        local refinement over the standard ladder, same winner as the
+        full grid in fewer simulations.
         """
         from repro.exec import EvalRequest, evaluate_many
 
@@ -157,7 +160,7 @@ class Platform:
             bench=bench.name,
             size=size,
             nkernels=nkernels,
-            unrolls=tuple(unrolls),
+            unrolls="auto" if unrolls == "auto" else tuple(unrolls),
             verify=verify,
             max_threads=max_threads,
         )

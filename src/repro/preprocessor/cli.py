@@ -5,6 +5,8 @@ Usage::
     ddmcpp input.ddm -o output.py        # emit the generated module
     ddmcpp input.ddm --run               # preprocess and run sequentially
     ddmcpp input.ddm --run --kernels 4   # run on the simulated platform
+    ddmcpp input.ddm --check-deps        # diagnose declared arcs against
+                                         # the derived dependence graph
 """
 
 from __future__ import annotations
@@ -34,6 +36,14 @@ def main(argv: list[str] | None = None) -> int:
         help="with --run: execute on the simulated TFluxHard platform with "
         "this many kernels (0 = plain sequential execution)",
     )
+    parser.add_argument(
+        "--check-deps",
+        action="store_true",
+        help="diagnose the declared synchronization graph against the "
+        "dependence graph derived from access clauses: flag redundant "
+        "(no access overlap) and missing (derived conflict with no "
+        "ordering path) arcs; exit 1 if any dependence is missing",
+    )
     args = parser.parse_args(argv)
 
     try:
@@ -42,6 +52,13 @@ def main(argv: list[str] | None = None) -> int:
         print(f"ddmcpp: cannot read {args.input}: {exc}", file=sys.stderr)
         return 1
     try:
+        if args.check_deps:
+            from repro.core.deps import check_deps
+
+            report = check_deps(compile_to_program(source))
+            print(f"{args.input}:")
+            print(report.format())
+            return 0 if report.ok else 1
         if args.output:
             Path(args.output).write_text(emit_module(source))
             print(f"wrote {args.output}")

@@ -17,6 +17,7 @@ Directive grammar (one per line)::
     #pragma ddm thread <int> [context(<int>)]
                      [depends(<int> <same|all|map(<expr>)>) ...]
                      [cond(<int> <int> [same|all]) ...]
+                     [reads(<access>) ...] [writes(<access>) ...]
     #pragma ddm endthread
     #pragma ddm for thread <int> [unroll(<int>)] [depends(...) ...]
       for (<var> = <const>; <var> < <const>; <var> += <const>) { ... }
@@ -29,6 +30,19 @@ Directive grammar (one per line)::
 
 ``CTX`` inside a thread body (and inside ``map(...)``) is the instance's
 context value.
+
+Access clauses (the Couillard-style alternative to explicit arcs): a
+``reads(...)``/``writes(...)`` clause declares the slice of a shared
+array the thread instance touches, in one of three forms::
+
+    reads(A)                 -- the whole array
+    reads(A[CTX])            -- one element (any CTX expression)
+    reads(A[CTX*4 .. CTX*4 + 4])  -- the half-open range [lo, hi)
+
+Expressions may use ``CTX``, integer constants and arithmetic.  When
+every arc-less thread carries access clauses, the back-end derives the
+synchronization graph from them (:mod:`repro.core.deps`) instead of
+requiring ``depends(...)`` declarations.
 
 Dynamic graphs (see :mod:`repro.core.dynamic`): a ``cond(p k)`` clause
 declares a *conditional* arc from thread ``p``, taken only when ``p``'s
@@ -48,6 +62,7 @@ from typing import Optional
 from repro.preprocessor.errors import DDMSyntaxError
 
 __all__ = [
+    "AccessClause",
     "Dependence",
     "CondDependence",
     "SharedVar",
@@ -75,6 +90,22 @@ class Dependence:
     producer: int
     mapping: str  # "same" | "all" | "map"
     map_expr: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class AccessClause:
+    """One ``reads(...)``/``writes(...)`` clause on a thread directive.
+
+    ``lo_expr``/``hi_expr`` are CTX-expressions (still C-subset text):
+    both ``None`` means the whole array; ``lo_expr`` alone means the
+    single element at that index; both mean the half-open element range
+    ``[lo, hi)``.
+    """
+
+    kind: str  # "read" | "write"
+    var: str
+    lo_expr: Optional[str] = None
+    hi_expr: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -108,6 +139,7 @@ class ThreadDirective:
     context: int = 1
     depends: list[Dependence] = field(default_factory=list)
     conds: list[CondDependence] = field(default_factory=list)
+    accesses: list[AccessClause] = field(default_factory=list)
     body: str = ""
     body_line: int = 0
     block: Optional[int] = None
@@ -171,7 +203,61 @@ def _parse_thread_header(rest: str, lineno: int) -> ThreadDirective:
                 int(im.group(1)), int(im.group(2)), im.group(3) or "same"
             )
         )
+    for word, kind in (("reads", "read"), ("writes", "write")):
+        for inner in _scan_clauses(rest, word, lineno):
+            td.accesses.append(_parse_access(kind, inner, lineno))
     return td
+
+
+def _scan_clauses(rest: str, word: str, lineno: int):
+    """Extract ``word(...)`` clause bodies, balancing parentheses."""
+    out = []
+    pos = 0
+    needle = word + "("
+    while True:
+        start = rest.find(needle, pos)
+        if start < 0:
+            return out
+        if start and (rest[start - 1].isalnum() or rest[start - 1] == "_"):
+            pos = start + len(needle)  # part of a longer identifier
+            continue
+        i = start + len(needle)
+        depth = 1
+        while i < len(rest) and depth:
+            if rest[i] == "(":
+                depth += 1
+            elif rest[i] == ")":
+                depth -= 1
+            i += 1
+        if depth:
+            raise DDMSyntaxError(f"unbalanced parentheses in {word}(...)", lineno)
+        out.append(rest[start + len(needle):i - 1].strip())
+        pos = i
+
+
+def _parse_access(kind: str, inner: str, lineno: int) -> AccessClause:
+    m = re.match(r"^([A-Za-z_]\w*)\s*(?:\[(.*)\]\s*)?$", inner, re.S)
+    if not m:
+        raise DDMSyntaxError(
+            f"malformed access clause {inner!r}: expected "
+            "<var>, <var>[<expr>] or <var>[<lo> .. <hi>]",
+            lineno,
+        )
+    var, subscript = m.group(1), m.group(2)
+    if subscript is None:
+        return AccessClause(kind, var)
+    parts = [p.strip() for p in subscript.split("..")]
+    if len(parts) > 2:
+        raise DDMSyntaxError(
+            f"access range {subscript!r} has more than one '..'", lineno
+        )
+    if not all(parts):
+        raise DDMSyntaxError(
+            f"empty index expression in access clause {inner!r}", lineno
+        )
+    if len(parts) == 1:
+        return AccessClause(kind, var, lo_expr=parts[0])
+    return AccessClause(kind, var, lo_expr=parts[0], hi_expr=parts[1])
 
 
 def _scan_depends(rest: str, lineno: int):

@@ -390,10 +390,12 @@ class FastMemorySystem:
                 # Reads: remote-owned lines downgrade (owner cleared, shared).
                 if n_coh:
                     downgrade = self._lines_of(sel)[remote_owned]
-                    rs.owner[downgrade] = -1
                     # The previous owner's copy stays valid (now SHARED);
                     # the line also lands in the owner's L2 via writeback.
+                    # ``own`` aliases ``rs.owner`` on dense sweeps, so the
+                    # owner groups must be read before the owner is cleared.
                     owner_groups = self._group_of[own[remote_owned].astype(np.int64)]
+                    rs.owner[downgrade] = -1
                     for g in np.unique(owner_groups):
                         rs.l2_last[g, downgrade[owner_groups == g]] = self._l2_clock[g]
                 rs.sharers[word, sel] |= mybit

@@ -1,0 +1,107 @@
+"""The ``unrolls="auto"`` adaptive search (repro.exec.pool).
+
+The A2 protocol takes the best speedup over the unroll grid; the
+adaptive search must find the *same* best cell (unroll, speedup —
+earliest-tie-break included) while simulating strictly fewer points, and
+its probes must route through the same job/caching machinery as the
+grid.
+"""
+
+import pytest
+
+from repro.apps.common import ProblemSize
+from repro.exec import UNROLL_LADDER, EvalRequest, clear_baseline_memo, evaluate_many
+from repro.exec.pool import _AUTO_PROBES, _auto_frontier, JobOutcome
+from repro.platforms import TFluxHard, TFluxSoft
+
+SIZES = {
+    "trapez": ProblemSize("trapez", "S", "t", {"k": 12}),
+    "fft": ProblemSize("fft", "S", "t", {"n": 32}),
+    "qsort": ProblemSize("qsort", "S", "t", {"n": 2048}),
+}
+
+
+@pytest.fixture(autouse=True)
+def _fresh_baselines():
+    clear_baseline_memo()
+    yield
+    clear_baseline_memo()
+
+
+@pytest.mark.parametrize(
+    "platform_cls, bench, nkernels",
+    [
+        (TFluxHard, "trapez", 8),
+        (TFluxHard, "fft", 4),
+        (TFluxSoft, "qsort", 4),
+    ],
+)
+def test_auto_matches_grid_with_fewer_simulations(platform_cls, bench, nkernels):
+    platform = platform_cls()
+    size = SIZES[bench]
+    grid = evaluate_many(
+        [EvalRequest(platform, bench, size, nkernels)], cache=None
+    )[0]
+    auto = evaluate_many(
+        [EvalRequest(platform, bench, size, nkernels, unrolls="auto")],
+        cache=None,
+    )[0]
+    assert auto.best_unroll == grid.best_unroll
+    assert auto.speedup == pytest.approx(grid.speedup, rel=0, abs=0)
+    # per_unroll holds exactly the evaluated points: strictly fewer sims.
+    assert len(auto.per_unroll) < len(UNROLL_LADDER)
+    assert set(auto.per_unroll) <= set(UNROLL_LADDER)
+    # Every probed point agrees with the grid's measurement of it.
+    for unroll, speedup in auto.per_unroll.items():
+        assert speedup == pytest.approx(grid.per_unroll[unroll])
+
+
+def test_batched_auto_and_grid_requests_mix():
+    platform = TFluxHard()
+    size = SIZES["trapez"]
+    evaluations = evaluate_many(
+        [
+            EvalRequest(platform, "trapez", size, 4, unrolls="auto"),
+            EvalRequest(platform, "trapez", size, 4),
+        ],
+        cache=None,
+    )
+    assert evaluations[0].best_unroll == evaluations[1].best_unroll
+    assert evaluations[0].speedup == pytest.approx(evaluations[1].speedup)
+
+
+def test_bad_unrolls_string_rejected():
+    platform = TFluxHard()
+    with pytest.raises(ValueError, match="'auto'"):
+        evaluate_many(
+            [EvalRequest(platform, "trapez", SIZES["trapez"], 4, unrolls="fast")],
+            cache=None,
+        )
+
+
+# -- the frontier rule, in isolation ------------------------------------------
+def _outcome(cycles):
+    return JobOutcome(cycles=cycles, region_cycles=cycles)
+
+
+def test_frontier_expands_neighbours_of_best():
+    seq = 1000
+    evaluated = {1: _outcome(500), 8: _outcome(250), 64: _outcome(400)}
+    assert _auto_frontier(evaluated, seq) == [4, 16]
+
+
+def test_frontier_plateau_slides_left():
+    """Equal speedups keep the earliest unroll (the _assemble rule), so a
+    plateau walks toward smaller factors until it is bracketed."""
+    seq = 1000
+    evaluated = {1: _outcome(500), 8: _outcome(250), 64: _outcome(400)}
+    evaluated[4] = _outcome(250)  # ties 8 -> best moves to 4
+    evaluated[16] = _outcome(300)
+    assert _auto_frontier(evaluated, seq) == [2]
+    evaluated[2] = _outcome(260)
+    assert _auto_frontier(evaluated, seq) == []  # bracketed: done
+
+
+def test_frontier_initial_probes_cover_ladder_extremes():
+    assert _AUTO_PROBES[0] == UNROLL_LADDER[0]
+    assert _AUTO_PROBES[-1] == UNROLL_LADDER[-1]

@@ -2,7 +2,7 @@
 against the exact MESI model on the workload-style access patterns."""
 
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import example, given, settings, strategies as st
 
 from repro.sim.accesses import AccessSummary, RegionSpace
 from repro.sim.cache import CacheConfig, CoherentMemorySystem, MemoryConfig
@@ -180,6 +180,21 @@ def test_lazy_region_declaration():
         min_size=1,
         max_size=30,
     )
+)
+# Hypothesis's falsifier for the dirty-read writeback aliasing bug: on a
+# dense sweep ``own`` is a view of ``rs.owner``, so clearing the owner
+# before reading it sent the downgrade writeback to the *last* L2 group
+# instead of the owner's — a third core then saw phantom L2 hits where
+# the exact model (and the fixed fast model) goes to DRAM.
+@example(
+    pattern=[
+        (0, True, 0),
+        (0, True, 2),
+        (1, False, 0),
+        (1, False, 2),
+        (2, False, 0),
+        (2, False, 2),
+    ],
 )
 def test_cross_validation_chunked_traffic(pattern):
     """Exact vs fast agreement on chunked producer/consumer traffic.

@@ -9,7 +9,9 @@ vs off must be cycle-identical over a slice of the figure and ablation
 dimensions, while dispatching fewer events per DThread instance), times
 the coherence-hot FFT/MMULT cells whose invalidation sweeps stress the
 two-level sharer directory (cycles must match the flat-mask seed
-bit-for-bit), and writes the measurements to ``BENCH_PR6.json``.
+bit-for-bit), measures the ``unrolls="auto"`` adaptive search against
+the full A2 factor grid (same best cells, fewer simulations), and
+writes the measurements to ``BENCH_PR8.json``.
 
 The parallel measurement is skipped (and annotated in the JSON) on
 hosts with ≤2 CPUs, where the pool can only add fork overhead.
@@ -34,7 +36,13 @@ import tempfile
 import time
 
 from repro.apps import get_benchmark, problem_sizes
-from repro.exec import EvalRequest, ResultCache, clear_baseline_memo, evaluate_many
+from repro.exec import (
+    UNROLL_LADDER,
+    EvalRequest,
+    ResultCache,
+    clear_baseline_memo,
+    evaluate_many,
+)
 from repro.platforms import TFluxCell, TFluxHard, TFluxSoft
 from repro.sim.engine import ENV_FASTPATH
 
@@ -115,6 +123,95 @@ def time_coherence() -> dict:
         "seconds_best_of_3": round(best, 3),
         "fingerprint": [list(t) for t in fp],
         "matches_seed_fingerprint": matches,
+    }
+
+
+# -- A2: adaptive unroll search vs the full factor grid ------------------------
+def _auto_unroll_requests() -> list[tuple[str, EvalRequest]]:
+    """A2-style unroll-ablation cells spanning both single-chip
+    platforms and the benchmarks whose best factors sit at different
+    ends of the ladder (trapez peaks high, qsort peaks at 1)."""
+    cells = [
+        ("hard trapez nk=8", TFluxHard(), "trapez", 8),
+        ("hard fft nk=4", TFluxHard(), "fft", 4),
+        ("soft qsort nk=4", TFluxSoft(), "qsort", 4),
+    ]
+    return [
+        (
+            label,
+            EvalRequest(
+                platform=platform,
+                bench=bench,
+                size=problem_sizes(bench, platform.target)["small"],
+                nkernels=nkernels,
+                verify=False,
+                max_threads=1024,
+            ),
+        )
+        for label, platform, bench, nkernels in cells
+    ]
+
+
+def time_auto_unroll() -> dict:
+    """Evaluate each A2 cell with the full 7-point grid and with
+    ``unrolls="auto"``; the adaptive search must land on the same best
+    cell (factor and speedup) while simulating fewer points."""
+    import dataclasses
+
+    labelled = _auto_unroll_requests()
+    agrees = True
+    rows = {}
+
+    clear_baseline_memo()
+    t0 = time.perf_counter()
+    full = evaluate_many(
+        [dataclasses.replace(r, unrolls=UNROLL_LADDER) for _, r in labelled],
+        jobs=1,
+        cache=None,
+    )
+    full_s = time.perf_counter() - t0
+
+    clear_baseline_memo()
+    t0 = time.perf_counter()
+    auto = evaluate_many(
+        [dataclasses.replace(r, unrolls="auto") for _, r in labelled],
+        jobs=1,
+        cache=None,
+    )
+    auto_s = time.perf_counter() - t0
+
+    for (label, _), fev, aev in zip(labelled, full, auto):
+        same = (
+            fev.best_unroll == aev.best_unroll
+            and fev.speedup == aev.speedup
+            and fev.parallel_cycles == aev.parallel_cycles
+        )
+        agrees &= same
+        rows[label] = {
+            "best_unroll": aev.best_unroll,
+            "speedup": round(aev.speedup, 4),
+            "sims_full": len(fev.per_unroll),
+            "sims_auto": len(aev.per_unroll),
+            "same_best_cell": same,
+        }
+        flag = "" if same else "  << BEST CELL DIVERGES"
+        print(
+            f"{'A2 auto ' + label:>28}: {len(aev.per_unroll)}/"
+            f"{len(fev.per_unroll)} sims, best u={aev.best_unroll}{flag}"
+        )
+    sims_full = sum(r["sims_full"] for r in rows.values())
+    sims_auto = sum(r["sims_auto"] for r in rows.values())
+    print(
+        f"{'A2 auto totals':>28}: {sims_auto} vs {sims_full} sims, "
+        f"{full_s:.2f}s -> {auto_s:.2f}s"
+    )
+    return {
+        "same_best_cells": agrees,
+        "simulations_full_grid": sims_full,
+        "simulations_auto": sims_auto,
+        "seconds_full_grid": round(full_s, 3),
+        "seconds_auto": round(auto_s, 3),
+        "cells": rows,
     }
 
 
@@ -234,7 +331,7 @@ def time_headline(cache_dir: str) -> dict[str, float]:
 def main() -> None:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--jobs", type=int, default=4)
-    ap.add_argument("--out", default="BENCH_PR6.json")
+    ap.add_argument("--out", default="BENCH_PR8.json")
     ap.add_argument("--quick", action="store_true")
     ap.add_argument(
         "--no-headline", action="store_true",
@@ -285,6 +382,7 @@ def main() -> None:
         )
         fastpath = check_fastpath()
         coherence = time_coherence()
+        auto_unroll = time_auto_unroll()
         if args.no_headline:
             headline = None
         else:
@@ -307,6 +405,11 @@ def main() -> None:
         "two-level sharer directory diverged from the flat-mask seed cycles"
     )
     print("coherence-hot cells bit-identical to the flat-mask seed")
+    assert auto_unroll["same_best_cells"], (
+        "adaptive unroll search diverged from the full grid's best cells"
+    )
+    assert auto_unroll["simulations_auto"] < auto_unroll["simulations_full_grid"]
+    print("adaptive unroll search matches the full grid with fewer simulations")
 
     prev_serial = None
     if os.path.exists("BENCH_PR4.json"):
@@ -341,6 +444,7 @@ def main() -> None:
         ),
         "identical_cycles": True,
         "coherence_hot": coherence,
+        "auto_unroll": auto_unroll,
         "fastpath": fastpath,
         "serial_seconds_prev_pr": prev_serial,
         "bench_headline_seconds": headline,
