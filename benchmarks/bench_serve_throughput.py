@@ -1,0 +1,212 @@
+"""P9 — serving-layer sustained throughput (jobs/sec, 1/4/16 clients).
+
+Drives a real ``tflux-serve`` instance (in-thread, real TCP sockets)
+with closed-loop clients — each submits one-job batches back to back —
+under the two workload extremes the frontier is built for:
+
+* **high-dedup**: every client submits the *same* small grid, so after
+  the first flight per unique spec the server answers from the
+  single-flight table or the in-memory LRU.  Throughput here is the
+  serving layer itself (protocol + scheduler + LRU), and the
+  single-flight invariant is asserted exactly: with the disk cache off,
+  ``executed == unique specs`` and every duplicate is accounted as a
+  coalesced flight or an LRU hit — however 16 racing clients interleave.
+* **no-dedup**: every job is a distinct spec (distinct ``max_threads``
+  values mint fresh digests at near-identical simulation cost), so
+  throughput is bounded by the worker pool and should scale with
+  concurrent clients when the host has the cores to back it.
+
+Measurements land in ``BENCH_PR9.json`` at the repo root.  The
+4-vs-1-client scaling assertion (≥2x) only applies on hosts with ≥4
+CPUs — a 1-CPU host runs the pool serially, which the JSON annotates
+(same convention as BENCH_PR8's ``parallel_skipped``).
+
+Also runnable standalone::
+
+    PYTHONPATH=src python benchmarks/bench_serve_throughput.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+
+from benchmarks.conftest import FULL, report
+from repro.serve import ServeClient, ServeConfig, job_to_wire, serve_in_thread
+
+OUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_PR9.json"
+
+#: Distinct max_threads values change the spec digest but barely the
+#: simulated work (trapez small, nk=2 runs ~10-30ms at this cap).
+_BASE_MAX_THREADS = 64
+
+CLIENT_COUNTS = (1, 4, 16)
+UNIQUE_JOBS = 8 if FULL else 6  # high-dedup grid size
+ROUNDS = 6 if FULL else 3  # high-dedup rounds per client
+JOBS_PER_CLIENT = 12 if FULL else 6  # no-dedup stream per client
+
+
+def _job(i: int) -> dict:
+    return job_to_wire(
+        "trapez", nkernels=2, unroll=1, max_threads=_BASE_MAX_THREADS + i
+    )
+
+
+def _run_clients(address, nclients: int, jobs_for) -> tuple[float, int, list]:
+    """Closed-loop drive: *nclients* threads each submit their job list
+    as one-job batches, back to back.  Returns (seconds, total, batches)."""
+    per_client = [list(jobs_for(c)) for c in range(nclients)]
+    results: list = [None] * nclients
+    errors: list = []
+    barrier = threading.Barrier(nclients + 1)
+
+    def client(c: int) -> None:
+        try:
+            with ServeClient(address, tenant=f"client{c}") as cl:
+                barrier.wait()
+                batches = []
+                for job in per_client[c]:
+                    batch = cl.submit([job])
+                    assert batch.ok, batch.message
+                    batches.append(batch)
+                results[c] = batches
+        except Exception as exc:  # pragma: no cover - diagnostic
+            errors.append(exc)
+            barrier.abort()
+
+    threads = [threading.Thread(target=client, args=(c,)) for c in range(nclients)]
+    for t in threads:
+        t.start()
+    barrier.wait()  # all clients connected: start the clock
+    t0 = time.perf_counter()
+    for t in threads:
+        t.join()
+    elapsed = time.perf_counter() - t0
+    if errors:
+        raise errors[0]
+    return elapsed, sum(len(jobs) for jobs in per_client), results
+
+
+def _measure(nclients: int, jobs_for, workers: int) -> dict:
+    """One phase on a fresh server (fresh LRU/counters, disk cache off)."""
+    handle = serve_in_thread(
+        config=ServeConfig(workers=workers, lru_capacity=4096), cache=None
+    )
+    try:
+        elapsed, total, results = _run_clients(handle.address, nclients, jobs_for)
+        with ServeClient(handle.address) as cl:
+            stats = cl.stats()
+    finally:
+        handle.stop()
+    counters = stats["counters"]
+    return {
+        "clients": nclients,
+        "jobs": total,
+        "seconds": round(elapsed, 3),
+        "jobs_per_sec": round(total / elapsed, 1),
+        "executed": stats["executed"],
+        "deduped": counters.get("serve.deduped", 0),
+        "lru_hits": counters.get("serve.lru_hits", 0),
+        "results": results,
+    }
+
+
+def test_serve_throughput():
+    cpu = os.cpu_count() or 1
+    workers = 4 if cpu >= 4 else 1
+    payload: dict = {
+        "host": {"cpu_count": cpu},
+        "config": {
+            "workers": workers,
+            "unique_jobs_dedup": UNIQUE_JOBS,
+            "rounds_dedup": ROUNDS,
+            "jobs_per_client_nodedup": JOBS_PER_CLIENT,
+            "full": FULL,
+        },
+        "dedup": {},
+        "nodedup": {},
+    }
+    lines = [
+        "P9 — tflux-serve sustained throughput (closed-loop clients)",
+        f"{'workload':>10} {'clients':>8} {'jobs':>6} {'seconds':>8} "
+        f"{'jobs/s':>8} {'sims':>5} {'dedup+lru':>10}",
+    ]
+
+    # -- high-dedup: everyone submits the same grid -------------------------
+    dedup_grid = [_job(i) for i in range(UNIQUE_JOBS)]
+
+    def same_grid(_c):
+        return dedup_grid * ROUNDS
+
+    for nclients in CLIENT_COUNTS:
+        m = _measure(nclients, same_grid, workers)
+        batches = m.pop("results")
+        total = m["jobs"]
+        # The single-flight acceptance invariant: unique specs simulate
+        # once; every duplicate is a coalesced flight or an LRU hit.
+        assert m["executed"] == UNIQUE_JOBS, m
+        assert m["deduped"] + m["lru_hits"] == total - UNIQUE_JOBS, m
+        # Dedup never changes results: every client saw identical cycles
+        # for the same spec.
+        by_spec: dict = {}
+        for client_batches in batches:
+            for r, batch in enumerate(client_batches):
+                cycles = by_spec.setdefault(r % UNIQUE_JOBS, batch.outcomes[0].cycles)
+                assert batch.outcomes[0].cycles == cycles
+        payload["dedup"][str(nclients)] = m
+        lines.append(
+            f"{'dedup':>10} {nclients:>8} {total:>6} {m['seconds']:>7.2f}s "
+            f"{m['jobs_per_sec']:>8,.0f} {m['executed']:>5} "
+            f"{m['deduped'] + m['lru_hits']:>10}"
+        )
+
+    # -- no-dedup: every job a fresh spec -----------------------------------
+    def fresh_stream(c):
+        return [
+            _job(c * JOBS_PER_CLIENT + j + UNIQUE_JOBS)
+            for j in range(JOBS_PER_CLIENT)
+        ]
+
+    for nclients in CLIENT_COUNTS:
+        m = _measure(nclients, fresh_stream, workers)
+        m.pop("results")
+        assert m["executed"] == m["jobs"]  # nothing to dedup
+        assert m["deduped"] == 0 and m["lru_hits"] == 0
+        payload["nodedup"][str(nclients)] = m
+        lines.append(
+            f"{'no-dedup':>10} {nclients:>8} {m['jobs']:>6} "
+            f"{m['seconds']:>7.2f}s {m['jobs_per_sec']:>8,.0f} "
+            f"{m['executed']:>5} {0:>10}"
+        )
+
+    # -- scaling: 4 clients must beat 1 by >= 2x given >= 4 CPUs ------------
+    rate1 = payload["nodedup"]["1"]["jobs_per_sec"]
+    rate4 = payload["nodedup"]["4"]["jobs_per_sec"]
+    payload["scaling"] = {
+        "rate_1_client": rate1,
+        "rate_4_clients": rate4,
+        "ratio": round(rate4 / rate1, 2),
+    }
+    if cpu >= 4:
+        payload["scaling"]["ok"] = rate4 >= 2 * rate1
+        assert rate4 >= 2 * rate1, payload["scaling"]
+    else:
+        payload["scaling"]["ok"] = None
+        payload["scaling_skipped"] = (
+            f"host has {cpu} CPU(s); the pool runs simulations serially, "
+            f"so client concurrency cannot scale throughput"
+        )
+        lines.append(f"  (4v1 scaling assertion skipped: {cpu} CPU host)")
+    lines.append(f"  4-client vs 1-client: {payload['scaling']['ratio']}x")
+
+    OUT_PATH.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
+    lines.append(f"  wrote {OUT_PATH.name}")
+    report("\n".join(lines))
+
+
+if __name__ == "__main__":
+    test_serve_throughput()
+    print(OUT_PATH.read_text())

@@ -29,6 +29,7 @@ from repro.exec.pool import (
     clear_baseline_memo,
     evaluate_many,
     job_count,
+    pool_context,
     run_job,
     run_jobs,
 )
@@ -48,6 +49,7 @@ __all__ = [
     "clear_baseline_memo",
     "evaluate_many",
     "job_count",
+    "pool_context",
     "run_job",
     "run_jobs",
 ]

@@ -30,6 +30,7 @@ import json
 import os
 import pickle
 import tempfile
+import time
 from pathlib import Path
 from typing import Any, Optional
 
@@ -125,6 +126,14 @@ class ResultCache:
     Reads tolerate missing or corrupt entries (treated as misses);
     writes are atomic (temp file + rename) so concurrent workers and
     concurrent harness runs can share one directory.
+
+    ``__len__``/:meth:`stats` read a lazily-built in-memory index that
+    :meth:`put` keeps current, so polling them (the server's stats
+    endpoint does, per reply) costs a dict lookup, not a directory walk.
+    The index deliberately does *not* see entries written by other
+    processes after it was built — call ``stats(refresh=True)`` or
+    :meth:`refresh` when cross-process exactness matters (:meth:`prune`
+    always rescans first).
     """
 
     def __init__(self, root: str | os.PathLike) -> None:
@@ -132,6 +141,8 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        #: digest -> (size bytes, mtime); None until first scan.
+        self._index: Optional[dict[str, tuple[int, float]]] = None
 
     def _path(self, digest: str) -> Path:
         return self.root / digest[:2] / f"{digest}.pkl"
@@ -168,8 +179,13 @@ class ResultCache:
 
     def put(self, digest: str, value: Any) -> None:
         path = self._path(digest)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        while True:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            try:
+                fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+                break
+            except FileNotFoundError:
+                continue  # raced a concurrent prune's empty-shard sweep
         try:
             with os.fdopen(fd, "wb") as fh:
                 pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
@@ -181,11 +197,114 @@ class ResultCache:
                 pass
             raise
         self.stores += 1
+        if self._index is not None:
+            try:
+                st = path.stat()
+                self._index[digest] = (st.st_size, st.st_mtime)
+            except OSError:
+                self._index.pop(digest, None)
+
+    # -- maintenance ----------------------------------------------------------
+    def _scan(self) -> dict[str, tuple[int, float]]:
+        index: dict[str, tuple[int, float]] = {}
+        if self.root.exists():
+            for path in self.root.glob("*/*.pkl"):
+                try:
+                    st = path.stat()
+                except OSError:
+                    continue  # raced with a concurrent prune
+                index[path.stem] = (st.st_size, st.st_mtime)
+        return index
+
+    def refresh(self) -> None:
+        """Rebuild the index from disk (pick up other processes' writes)."""
+        self._index = self._scan()
+
+    def _entries(self) -> dict[str, tuple[int, float]]:
+        if self._index is None:
+            self._index = self._scan()
+        return self._index
 
     def __len__(self) -> int:
-        if not self.root.exists():
-            return 0
-        return sum(1 for _ in self.root.glob("*/*.pkl"))
+        return len(self._entries())
+
+    def stats(self, refresh: bool = False) -> dict[str, Any]:
+        """Entry count / on-disk bytes plus this handle's hit counters."""
+        if refresh:
+            self.refresh()
+        entries = self._entries()
+        return {
+            "root": str(self.root),
+            "entries": len(entries),
+            "bytes": sum(size for size, _ in entries.values()),
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+        }
+
+    def prune(
+        self,
+        max_bytes: Optional[int] = None,
+        max_age: Optional[float] = None,
+    ) -> dict[str, int]:
+        """Evict entries until the tree fits *max_bytes* / *max_age*.
+
+        Age is mtime-based, in seconds; the size bound evicts
+        oldest-first until the total fits.  Always rescans the tree
+        first so concurrent writers' entries are governed too, and
+        tolerates entries vanishing mid-prune (two prunes may race the
+        same directory).  Returns ``{"removed", "freed_bytes",
+        "remaining", "remaining_bytes"}``.
+        """
+        self.refresh()
+        entries = self._entries()
+        doomed: list[str] = []
+        if max_age is not None:
+            cutoff = time.time() - max_age
+            doomed.extend(d for d, (_, mtime) in entries.items() if mtime < cutoff)
+        if max_bytes is not None:
+            survivors = [
+                (mtime, size, d)
+                for d, (size, mtime) in entries.items()
+                if d not in set(doomed)
+            ]
+            total = sum(size for _, size, _ in survivors)
+            survivors.sort()  # oldest first
+            for mtime, size, digest in survivors:
+                if total <= max_bytes:
+                    break
+                doomed.append(digest)
+                total -= size
+        freed = 0
+        removed = 0
+        for digest in doomed:
+            size, _ = entries.pop(digest)
+            try:
+                os.unlink(self._path(digest))
+            except OSError:
+                continue
+            removed += 1
+            freed += size
+        if self.root.exists():
+            for shard in self.root.iterdir():
+                if shard.is_dir():
+                    try:
+                        shard.rmdir()  # only succeeds when empty
+                    except OSError:
+                        pass
+        return {
+            "removed": removed,
+            "freed_bytes": freed,
+            "remaining": len(entries),
+            "remaining_bytes": sum(size for size, _ in entries.values()),
+        }
+
+    def publish_counters(self, counters: Any, prefix: str = "exec.cache") -> None:
+        """Add this handle's hits/misses/stores to a Counters registry."""
+        scope = counters.scope(prefix)
+        scope.inc("hits", self.hits)
+        scope.inc("misses", self.misses)
+        scope.inc("stores", self.stores)
 
 
 def cache_from_env() -> Optional[ResultCache]:

@@ -38,7 +38,9 @@ from __future__ import annotations
 
 import multiprocessing
 import os
-from concurrent.futures import ProcessPoolExecutor
+import threading
+from collections import OrderedDict
+from concurrent.futures import Executor, Future, ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable, Optional, Sequence
 
@@ -55,6 +57,7 @@ __all__ = [
     "EvalRequest",
     "UNROLL_LADDER",
     "job_count",
+    "pool_context",
     "run_jobs",
     "evaluate_many",
     "clear_baseline_memo",
@@ -202,9 +205,14 @@ def run_job(spec: JobSpec) -> JobOutcome:
         return JobOutcome(0, 0, error=(qualname, str(exc)))
 
 
-def _pool_context() -> multiprocessing.context.BaseContext:
-    # fork inherits the imported simulator + benchmark registry, which
-    # keeps worker start-up cheap; fall back where fork is unavailable.
+def pool_context() -> multiprocessing.context.BaseContext:
+    """The multiprocessing context every harness pool uses.
+
+    fork inherits the imported simulator + benchmark registry, which
+    keeps worker start-up cheap; fall back where fork is unavailable.
+    The serving layer (:mod:`repro.serve`) builds its persistent pool
+    from the same context so worker behaviour is identical.
+    """
     methods = multiprocessing.get_all_start_methods()
     return multiprocessing.get_context("fork" if "fork" in methods else None)
 
@@ -213,6 +221,7 @@ def run_jobs(
     specs: Iterable[JobSpec],
     jobs: Optional[int] = None,
     cache: Optional[ResultCache] | object = _ENV_CACHE,
+    executor: Optional[Executor] = None,
 ) -> list[JobOutcome]:
     """Run *specs*, returning outcomes in the order the specs were given.
 
@@ -220,6 +229,13 @@ def run_jobs(
     of :func:`job_count` workers (serially in-process when that is 1).
     The returned list order never depends on completion order, so
     parallel and serial sweeps are interchangeable.
+
+    Passing *executor* reuses a caller-owned persistent pool (built with
+    :func:`pool_context`) instead of spinning one up per call — worker
+    start-up is then amortised across many batches, which is how the
+    long-running server (:mod:`repro.serve`) runs.  Results are
+    bit-identical either way; *jobs* is ignored when *executor* is
+    given (the executor's own worker count applies).
     """
     specs = list(specs)
     if cache is _ENV_CACHE:
@@ -239,10 +255,15 @@ def run_jobs(
         pending.append(i)
 
     if pending:
-        if njobs > 1 and len(pending) > 1:
+        if executor is not None:
+            for i, outcome in zip(
+                pending, executor.map(run_job, [specs[i] for i in pending])
+            ):
+                results[i] = outcome
+        elif njobs > 1 and len(pending) > 1:
             workers = min(njobs, len(pending))
             with ProcessPoolExecutor(
-                max_workers=workers, mp_context=_pool_context()
+                max_workers=workers, mp_context=pool_context()
             ) as pool:
                 for i, outcome in zip(
                     pending, pool.map(run_job, [specs[i] for i in pending])
@@ -291,13 +312,80 @@ class EvalRequest:
     max_threads: int = 4096
 
 
-#: In-process memo of sequential-baseline outcomes, keyed by the
-#: baseline JobSpec's cache digest.  The baseline depends only on
-#: (platform configuration, bench, size, exact memory model) — never on
-#: the sweep's kernel counts or unroll grid — so consecutive
-#: ``evaluate_many`` batches (e.g. a speedup curve over nkernels) reuse
-#: it without re-simulating.  Clear with :func:`clear_baseline_memo`.
-_BASELINE_MEMO: dict[str, JobOutcome] = {}
+#: Completed baselines the memo keeps (LRU-evicted beyond this, so a
+#: long-running server sweeping many platform configurations cannot
+#: grow the memo without bound; real sweeps hold a handful of cells).
+_BASELINE_MEMO_CAPACITY = 256
+
+
+class _BaselineMemo:
+    """Thread-safe, bounded, single-flight memo of baseline outcomes.
+
+    Keyed by the baseline JobSpec's cache digest.  The baseline depends
+    only on (platform configuration, bench, size, exact memory model) —
+    never on the sweep's kernel counts or unroll grid — so consecutive
+    ``evaluate_many`` batches (e.g. a speedup curve over nkernels)
+    reuse it without re-simulating.
+
+    Entries are ``concurrent.futures.Future`` objects so *concurrent*
+    ``evaluate_many`` calls (the server's request handlers) agree under
+    one lock on a single owner per digest: the owner simulates and
+    :meth:`fill`\\ s, everyone else blocks on the same future instead of
+    racing a duplicate baseline simulation.  Failures :meth:`fail` the
+    future (waiters re-raise) and are never retained, and completed
+    entries are LRU-evicted beyond *capacity*.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._done: "OrderedDict[str, Future]" = OrderedDict()
+        self._inflight: dict[str, Future] = {}
+
+    def claim(self, digest: str) -> tuple[Future, bool]:
+        """The shared future for *digest* and whether the caller owns it
+        (an owner must later :meth:`fill` or :meth:`fail`)."""
+        with self._lock:
+            fut = self._done.get(digest)
+            if fut is not None:
+                self._done.move_to_end(digest)
+                return fut, False
+            fut = self._inflight.get(digest)
+            if fut is not None:
+                return fut, False
+            fut = Future()
+            self._inflight[digest] = fut
+            return fut, True
+
+    def fill(self, digest: str, outcome: JobOutcome) -> None:
+        with self._lock:
+            fut = self._inflight.pop(digest, Future())
+            self._done[digest] = fut
+            self._done.move_to_end(digest)
+            while len(self._done) > self.capacity:
+                self._done.popitem(last=False)
+        fut.set_result(outcome)  # wake waiters outside the lock
+
+    def fail(self, digest: str, exc: BaseException) -> None:
+        with self._lock:
+            fut = self._inflight.pop(digest, None)
+        if fut is not None and not fut.done():
+            fut.set_exception(exc)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._done.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._done)
+
+    def __contains__(self, digest: str) -> bool:
+        with self._lock:
+            return digest in self._done
+
+
+_BASELINE_MEMO = _BaselineMemo(_BASELINE_MEMO_CAPACITY)
 
 
 def clear_baseline_memo() -> None:
@@ -410,20 +498,31 @@ def evaluate_many(
     # ride in the same run_jobs call as the parallel specs so the whole
     # batch shares one pool (and one cache pass).
     seq_digests: list[str] = []
+    seq_futures: dict[str, Future] = {}
     seq_position: dict[str, int] = {}
     seq_specs: list[JobSpec] = []
+    owned: list[str] = []
     for req in requests:
         spec = _baseline_spec(req)
         digest = spec_digest(spec)
         seq_digests.append(digest)
-        if digest not in _BASELINE_MEMO and digest not in seq_position:
-            seq_position[digest] = len(seq_specs)
-            seq_specs.append(spec)
+        if digest not in seq_futures:
+            fut, owner = _BASELINE_MEMO.claim(digest)
+            seq_futures[digest] = fut
+            if owner:
+                owned.append(digest)
+                seq_position[digest] = len(seq_specs)
+                seq_specs.append(spec)
 
-    outcomes = run_jobs(par_specs + seq_specs, jobs=jobs, cache=cache)
+    try:
+        outcomes = run_jobs(par_specs + seq_specs, jobs=jobs, cache=cache)
+    except BaseException as exc:
+        for digest in owned:
+            _BASELINE_MEMO.fail(digest, exc)
+        raise
     seq_outcomes = outcomes[len(par_specs):]
     for digest, pos in seq_position.items():
-        _BASELINE_MEMO[digest] = seq_outcomes[pos]
+        _BASELINE_MEMO.fill(digest, seq_outcomes[pos])
 
     evaluated: list[dict[int, JobOutcome]] = [
         dict(zip(grid if grid is not None else _AUTO_PROBES, outcomes[a:b]))
@@ -437,7 +536,7 @@ def evaluate_many(
         owners: list[tuple[int, int]] = []
         still: list[int] = []
         for i in active:
-            seq_cycles = _BASELINE_MEMO[seq_digests[i]].seq_cycles
+            seq_cycles = seq_futures[seq_digests[i]].result().seq_cycles
             assert seq_cycles is not None
             frontier = _auto_frontier(evaluated[i], seq_cycles)
             if frontier:
@@ -454,7 +553,7 @@ def evaluate_many(
         active = still
 
     return [
-        _assemble(req, evaluated[i], _BASELINE_MEMO[seq_digests[i]])
+        _assemble(req, evaluated[i], seq_futures[seq_digests[i]].result())
         for i, req in enumerate(requests)
     ]
 

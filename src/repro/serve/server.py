@@ -1,0 +1,545 @@
+"""``tflux-serve``: the long-running multi-tenant simulation server.
+
+Architecture (one asyncio loop + one persistent process pool)::
+
+    client conns ──admission──▶ FairScheduler ──dispatch──▶ SingleFlightLRU
+      (NDJSON)    (bounded,      (per-tenant RR             │ hit ──────▶ stream
+                   overloaded     + priority aging)         │ coalesce ─▶ stream
+                   reply)                                   ▼ miss (leader)
+                                                     disk ResultCache
+                                                            ▼ miss
+                                                 ProcessPoolExecutor.run_job
+
+* **Admission** is all-or-nothing per batch against the scheduler's
+  bounds; a refused batch gets an explicit ``overloaded`` reply instead
+  of unbounded buffering.
+* **Dispatch** pulls from the scheduler only while fewer than
+  ``max_inflight`` *unique* simulations are running — LRU hits and
+  coalesced duplicates consume no slot.  Classification (LRU → in-flight
+  → disk → pool) is synchronous on the loop, so the in-flight bound is
+  exact.
+* **The pool is persistent**: one ``ProcessPoolExecutor`` created (and
+  warmed) at :meth:`TFluxServer.start`, reused for every request —
+  worker start-up is paid once per server, not once per batch
+  (:func:`repro.exec.pool.run_jobs` spins a pool per call; the server
+  explicitly does not).
+* **Results stream**: each finished cell is written to its tenant the
+  moment it resolves (``result`` messages in completion order, then
+  ``batch_done``) — no wait-for-whole-batch.
+* **Everything is counted** through :mod:`repro.obs`:
+  ``serve.admitted/rejected/deduped/lru_hits/evictions/executed/completed``
+  globally, the same set per tenant under ``serve.tenant.<name>.*``, and
+  the disk cache's ``exec.cache.hits/misses/stores`` merged into every
+  stats reply so in-memory and on-disk effectiveness are comparable in
+  one place.
+
+Dedup, LRU and streaming change *when* results arrive, never *what*
+they are: an outcome is computed by the same :func:`repro.exec.pool.run_job`
+a direct sweep uses, and the differential tests pin the streamed records
+bit-identical to a pool run.
+
+Knobs (environment, overridable per :class:`ServeConfig` field)::
+
+    TFLUX_SERVE_WORKERS       worker processes          (default 1, 'auto' = cores)
+    TFLUX_SERVE_LRU           in-memory LRU capacity    (default 512 outcomes)
+    TFLUX_SERVE_MAX_INFLIGHT  unique running sims       (default 2x workers)
+    TFLUX_SERVE_MAX_QUEUED    queued jobs per tenant    (default 256)
+    TFLUX_SERVE_QUEUE_TOTAL   queued jobs, all tenants  (default 1024)
+    TFLUX_SERVE_AGING         skips per +1 priority     (default 4)
+
+plus ``TFLUX_CACHE_DIR`` for the on-disk layer, exactly as in
+:mod:`repro.exec`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import os
+import re
+import threading
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.exec.cache import ResultCache, cache_from_env, spec_digest
+from repro.exec.pool import JobSpec, pool_context, run_job
+from repro.obs import Counters
+from repro.serve.lru import MISS, SingleFlightLRU
+from repro.serve.protocol import (
+    MAX_LINE_BYTES,
+    WIRE_VERSION,
+    WireError,
+    decode,
+    encode,
+    job_from_wire,
+    outcome_to_wire,
+)
+from repro.serve.scheduler import FairScheduler
+
+__all__ = ["ServeConfig", "TFluxServer", "ServerHandle", "serve_in_thread"]
+
+#: Sentinel: "resolve the disk cache from the environment".
+_ENV_CACHE = object()
+
+
+def _env_int(name: str, default: int) -> int:
+    raw = os.environ.get(name, "").strip()
+    return int(raw) if raw else default
+
+
+@dataclass
+class ServeConfig:
+    """Server sizing; every field has a ``TFLUX_SERVE_*`` spelling."""
+
+    workers: int = 1
+    lru_capacity: int = 512
+    #: Unique simulations allowed to run at once; 0 = ``2 * workers``
+    #: (keeps the pool fed while results stream out).
+    max_inflight: int = 0
+    max_queued_per_tenant: int = 256
+    max_queued_total: int = 1024
+    aging_rounds: int = 4
+
+    @classmethod
+    def from_env(cls, **overrides: int) -> "ServeConfig":
+        raw_workers = os.environ.get("TFLUX_SERVE_WORKERS", "").strip().lower()
+        if raw_workers in ("auto", "max"):
+            workers = os.cpu_count() or 1
+        elif raw_workers:
+            workers = max(1, int(raw_workers))
+        else:
+            workers = 1
+        config = cls(
+            workers=workers,
+            lru_capacity=_env_int("TFLUX_SERVE_LRU", 512),
+            max_inflight=_env_int("TFLUX_SERVE_MAX_INFLIGHT", 0),
+            max_queued_per_tenant=_env_int("TFLUX_SERVE_MAX_QUEUED", 256),
+            max_queued_total=_env_int("TFLUX_SERVE_QUEUE_TOTAL", 1024),
+            aging_rounds=_env_int("TFLUX_SERVE_AGING", 4),
+        )
+        for key, value in overrides.items():
+            setattr(config, key, value)
+        return config
+
+    @property
+    def effective_inflight(self) -> int:
+        return self.max_inflight or 2 * self.workers
+
+
+def _counter_key(tenant: str) -> str:
+    """Tenant name as a counter-safe identifier (``repro.obs`` names are
+    dotted identifiers; arbitrary tenant strings are sanitised)."""
+    key = re.sub(r"\W", "_", tenant) or "anon"
+    return key if key.isidentifier() else f"t_{key}"
+
+
+class _Batch:
+    """Bookkeeping for one admitted submit message."""
+
+    __slots__ = ("conn", "batch_id", "remaining")
+
+    def __init__(self, conn: "_Connection", batch_id: str, njobs: int) -> None:
+        self.conn = conn
+        self.batch_id = batch_id
+        self.remaining = njobs
+
+
+class _Job:
+    """One admitted job: where it came from and what to run."""
+
+    __slots__ = ("batch", "index", "spec", "digest")
+
+    def __init__(self, batch: _Batch, index: int, spec: JobSpec, digest: str) -> None:
+        self.batch = batch
+        self.index = index
+        self.spec = spec
+        self.digest = digest
+
+
+class _Connection:
+    """Per-client state: identity plus an outgoing message queue.
+
+    A dedicated writer task drains the queue so slow readers exert
+    backpressure on their own stream without stalling the dispatcher.
+    """
+
+    _ids = itertools.count(1)
+
+    def __init__(self) -> None:
+        self.tenant = f"anon{next(self._ids)}"
+        self.outq: "asyncio.Queue[Optional[dict[str, Any]]]" = asyncio.Queue()
+        self.closed = False
+
+    def send(self, message: dict[str, Any]) -> None:
+        if not self.closed:
+            self.outq.put_nowait(message)
+
+
+class TFluxServer:
+    """The asyncio simulation server (see module docstring)."""
+
+    def __init__(
+        self,
+        config: Optional[ServeConfig] = None,
+        cache: "Optional[ResultCache] | object" = _ENV_CACHE,
+    ) -> None:
+        self.config = config or ServeConfig.from_env()
+        self.cache = cache_from_env() if cache is _ENV_CACHE else cache
+        self.counters = Counters()
+        self.scheduler = FairScheduler(
+            max_queued_per_tenant=self.config.max_queued_per_tenant,
+            max_queued_total=self.config.max_queued_total,
+            aging_rounds=self.config.aging_rounds,
+        )
+        self.lru = SingleFlightLRU(self.config.lru_capacity)
+        #: Simulations actually handed to the pool (the single-flight
+        #: acceptance number: equals unique specs under a dedup herd).
+        self.executed = 0
+        self._batches = itertools.count(1)
+        self._wake = asyncio.Event()
+        self._executor: Optional[ProcessPoolExecutor] = None
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._dispatcher: Optional[asyncio.Task] = None
+        self._tasks: set[asyncio.Task] = set()
+
+    # -- lifecycle -------------------------------------------------------------
+    async def start(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        unix: Optional[str] = None,
+    ) -> "TFluxServer":
+        """Bind, warm the worker pool, and start dispatching."""
+        self._executor = ProcessPoolExecutor(
+            max_workers=self.config.workers, mp_context=pool_context()
+        )
+        # Warm-up: fork every worker now, so the first request pays no
+        # start-up and later forks don't race a busy loop thread.
+        self._executor.submit(os.getpid).result()
+        if unix is not None:
+            self._server = await asyncio.start_unix_server(
+                self._handle_client, path=unix, limit=MAX_LINE_BYTES
+            )
+        else:
+            self._server = await asyncio.start_server(
+                self._handle_client, host=host, port=port, limit=MAX_LINE_BYTES
+            )
+        self._dispatcher = asyncio.create_task(self._dispatch_loop())
+        return self
+
+    @property
+    def address(self) -> Any:
+        """The bound socket address (``(host, port)`` for TCP)."""
+        assert self._server is not None
+        return self._server.sockets[0].getsockname()
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def aclose(self) -> None:
+        """Stop accepting, cancel in-flight work, release the pool."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._dispatcher is not None:
+            self._dispatcher.cancel()
+        for task in list(self._tasks):
+            task.cancel()
+        await asyncio.gather(
+            *([self._dispatcher] if self._dispatcher else []),
+            *self._tasks,
+            return_exceptions=True,
+        )
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+
+    # -- connection handling ---------------------------------------------------
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        conn = _Connection()
+        conn.send({"type": "welcome", "server": "tflux-serve", "wire": WIRE_VERSION})
+        writer_task = asyncio.create_task(self._write_loop(conn, writer))
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    conn.send({"type": "error", "message": "message line too long"})
+                    break
+                if not line:
+                    break
+                try:
+                    message = decode(line)
+                except WireError as exc:
+                    conn.send({"type": "error", "message": str(exc)})
+                    continue
+                mtype = message["type"]
+                if mtype == "hello":
+                    conn.tenant = str(message.get("tenant") or conn.tenant)
+                elif mtype == "submit":
+                    self._admit(conn, message)
+                elif mtype == "stats":
+                    conn.send(self.stats_message())
+                elif mtype == "bye":
+                    break
+                else:
+                    conn.send(
+                        {"type": "error", "message": f"unknown message type {mtype!r}"}
+                    )
+        finally:
+            conn.closed = True
+            conn.outq.put_nowait(None)  # unblock the writer for shutdown
+            try:
+                await writer_task
+            except asyncio.CancelledError:  # pragma: no cover - teardown race
+                pass
+            writer.close()
+
+    async def _write_loop(
+        self, conn: _Connection, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                message = await conn.outq.get()
+                if message is None:
+                    break
+                writer.write(encode(message))
+                await writer.drain()
+        except (ConnectionError, asyncio.CancelledError):
+            conn.closed = True
+
+    # -- admission -------------------------------------------------------------
+    def _admit(self, conn: _Connection, message: dict[str, Any]) -> None:
+        batch_id = str(message.get("batch_id") or f"batch{next(self._batches)}")
+        jobs_wire = message.get("jobs")
+        if not isinstance(jobs_wire, list) or not jobs_wire:
+            conn.send(
+                {"type": "error", "batch_id": batch_id,
+                 "message": "submit needs a non-empty 'jobs' list"}
+            )
+            return
+        try:
+            priority = int(message.get("priority", 0))
+            specs = [job_from_wire(job) for job in jobs_wire]
+        except (WireError, TypeError, ValueError) as exc:
+            conn.send({"type": "error", "batch_id": batch_id, "message": str(exc)})
+            return
+        tenant_key = _counter_key(conn.tenant)
+        if not self.scheduler.can_accept(conn.tenant, len(specs)):
+            self.counters.inc("serve.rejected", len(specs))
+            self.counters.inc(f"serve.tenant.{tenant_key}.rejected", len(specs))
+            conn.send(
+                {
+                    "type": "overloaded",
+                    "batch_id": batch_id,
+                    "queued": self.scheduler.pending_total,
+                    "limit": self.scheduler.max_queued_total,
+                    "tenant_queued": self.scheduler.pending(conn.tenant),
+                    "tenant_limit": self.scheduler.max_queued_per_tenant,
+                }
+            )
+            return
+        batch = _Batch(conn, batch_id, len(specs))
+        for index, spec in enumerate(specs):
+            job = _Job(batch, index, spec, spec_digest(spec))
+            admitted = self.scheduler.submit(conn.tenant, job, priority)
+            assert admitted  # can_accept covered the whole batch
+        self.counters.inc("serve.admitted", len(specs))
+        self.counters.inc(f"serve.tenant.{tenant_key}.admitted", len(specs))
+        conn.send({"type": "accepted", "batch_id": batch_id, "jobs": len(specs)})
+        self._wake.set()
+
+    # -- dispatch --------------------------------------------------------------
+    async def _dispatch_loop(self) -> None:
+        while True:
+            await self._wake.wait()
+            self._wake.clear()
+            self._pump()
+
+    def _pump(self) -> None:
+        """Drain the scheduler while unique-simulation slots are free.
+
+        Classification is synchronous, so the in-flight bound is exact
+        and hits/coalesces never occupy a slot.
+        """
+        while self.lru.inflight < self.config.effective_inflight:
+            entry = self.scheduler.next()
+            if entry is None:
+                return
+            tenant, job = entry
+            tenant_key = _counter_key(tenant)
+            cached = self.lru.lookup(job.digest)
+            if cached is not MISS:
+                self.counters.inc("serve.lru_hits")
+                self.counters.inc(f"serve.tenant.{tenant_key}.lru_hits")
+                self._deliver(tenant_key, job, cached, None)
+                continue
+            fut, leader = self.lru.claim(job.digest)
+            fut.add_done_callback(
+                lambda f, tenant_key=tenant_key, job=job: self._deliver(
+                    tenant_key, job, f.result() if f.exception() is None else None,
+                    f.exception(),
+                )
+            )
+            if leader:
+                task = asyncio.create_task(self._compute(job.digest, job.spec))
+                self._tasks.add(task)
+                task.add_done_callback(self._tasks.discard)
+            else:
+                self.counters.inc("serve.deduped")
+                self.counters.inc(f"serve.tenant.{tenant_key}.deduped")
+
+    async def _compute(self, digest: str, spec: JobSpec) -> None:
+        """Leader path: disk cache, else the persistent pool; resolve or
+        reject the flight (failures are never cached)."""
+        try:
+            outcome = self.cache.get(digest) if self.cache is not None else None
+            if outcome is None:
+                loop = asyncio.get_running_loop()
+                outcome = await loop.run_in_executor(self._executor, run_job, spec)
+                self.executed += 1
+                self.counters.inc("serve.executed")
+                if self.cache is not None:
+                    self.cache.put(digest, outcome)
+        except asyncio.CancelledError:
+            self.lru.reject(digest, ConnectionAbortedError("server shutting down"))
+            raise
+        except Exception as exc:
+            self.lru.reject(digest, exc)
+        else:
+            self.lru.resolve(digest, outcome)
+        finally:
+            self._wake.set()
+
+    # -- delivery --------------------------------------------------------------
+    def _deliver(
+        self,
+        tenant_key: str,
+        job: _Job,
+        outcome: Any,
+        error: Optional[BaseException],
+    ) -> None:
+        batch = job.batch
+        if error is not None:
+            qualname = f"{type(error).__module__}.{type(error).__qualname__}"
+            batch.conn.send(
+                {
+                    "type": "job_error",
+                    "batch_id": batch.batch_id,
+                    "index": job.index,
+                    "error": [qualname, str(error)],
+                }
+            )
+        else:
+            batch.conn.send(
+                {
+                    "type": "result",
+                    "batch_id": batch.batch_id,
+                    "index": job.index,
+                    "outcome": outcome_to_wire(outcome),
+                }
+            )
+        self.counters.inc("serve.completed")
+        self.counters.inc(f"serve.tenant.{tenant_key}.completed")
+        batch.remaining -= 1
+        if batch.remaining == 0:
+            batch.conn.send({"type": "batch_done", "batch_id": batch.batch_id})
+
+    # -- observability ---------------------------------------------------------
+    def stats_counters(self) -> Counters:
+        """Cumulative counters + point-in-time gauges, one registry.
+
+        Includes the LRU's ``serve.lru_*``/``serve.evictions`` and the
+        disk cache's ``exec.cache.*`` so in-memory dedup and on-disk
+        memoisation are comparable side by side.
+        """
+        snapshot = Counters()
+        snapshot.merge(self.counters)
+        lru = self.lru.stats()
+        snapshot.inc("serve.evictions", lru["evictions"])
+        snapshot.inc("serve.lru_size", lru["size"])
+        snapshot.inc("serve.queue_depth", self.scheduler.pending_total)
+        snapshot.inc("serve.inflight", lru["inflight"])
+        if self.cache is not None:
+            self.cache.publish_counters(snapshot)
+        return snapshot
+
+    def stats_message(self) -> dict[str, Any]:
+        return {
+            "type": "stats",
+            "counters": self.stats_counters().as_dict(),
+            "executed": self.executed,
+            "lru": self.lru.stats(),
+            "queue_depth": self.scheduler.pending_total,
+            "tenants": self.scheduler.tenants(),
+            "workers": self.config.workers,
+        }
+
+
+# -- embedding helper ----------------------------------------------------------
+
+class ServerHandle:
+    """A server running on its own thread/loop (tests, benchmarks)."""
+
+    def __init__(self, server: TFluxServer, address: Any,
+                 loop: asyncio.AbstractEventLoop, thread: threading.Thread) -> None:
+        self.server = server
+        self.address = address
+        self._loop = loop
+        self._thread = thread
+
+    def stop(self, timeout: float = 10.0) -> None:
+        async def _shutdown() -> None:
+            await self.server.aclose()
+            asyncio.get_running_loop().stop()
+
+        self._loop.call_soon_threadsafe(asyncio.ensure_future, _shutdown())
+        self._thread.join(timeout)
+
+
+def serve_in_thread(
+    config: Optional[ServeConfig] = None,
+    cache: "Optional[ResultCache] | object" = _ENV_CACHE,
+    unix: Optional[str] = None,
+) -> ServerHandle:
+    """Start a :class:`TFluxServer` on a fresh background event loop.
+
+    Returns once the socket is bound; ``handle.address`` is connectable
+    immediately.  Exceptions during start-up re-raise in the caller.
+    """
+    started = threading.Event()
+    box: dict[str, Any] = {}
+
+    def _main() -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        server = TFluxServer(config=config, cache=cache)
+
+        async def _start() -> None:
+            try:
+                await server.start(unix=unix)
+                box["server"] = server
+                box["address"] = server.address
+                box["loop"] = loop
+            except BaseException as exc:  # surface bind/pool errors
+                box["error"] = exc
+                raise
+            finally:
+                started.set()
+
+        try:
+            loop.run_until_complete(_start())
+            loop.run_forever()
+        finally:
+            loop.close()
+
+    thread = threading.Thread(target=_main, name="tflux-serve", daemon=True)
+    thread.start()
+    started.wait()
+    if "error" in box:
+        raise box["error"]
+    return ServerHandle(box["server"], box["address"], box["loop"], thread)

@@ -251,3 +251,72 @@ def test_job_count_parsing(monkeypatch):
     with pytest.raises(ValueError):
         job_count()
     assert job_count(jobs=3) == 3  # explicit argument wins
+
+
+def test_baseline_memo_is_single_flight_across_threads(monkeypatch):
+    """Concurrent evaluate_many calls for one cell (the serve layer's
+    request handlers race exactly like this) agree on a single baseline
+    simulation: one owner computes, the others block on its future."""
+    import threading
+
+    clear_baseline_memo()
+    calls = _count_baseline_runs(monkeypatch)
+    req = dataclasses.replace(_request(nkernels=2), unrolls=(1,))
+    barrier = threading.Barrier(4)
+    results, errors = [], []
+
+    def worker():
+        barrier.wait()
+        try:
+            results.append(evaluate_many([req], jobs=1, cache=None)[0])
+        except Exception as exc:  # pragma: no cover - diagnostic
+            errors.append(exc)
+
+    threads = [threading.Thread(target=worker) for _ in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors
+    assert len(calls) == 1  # exactly one baseline despite the 4-way race
+    assert len({ev.sequential_cycles for ev in results}) == 1
+    clear_baseline_memo()
+
+
+def test_baseline_memo_capacity_bound(monkeypatch):
+    """The memo is LRU-bounded: a long-running server sweeping many
+    platform configurations cannot grow it without limit."""
+    from repro.exec import pool
+
+    clear_baseline_memo()
+    monkeypatch.setattr(pool._BASELINE_MEMO, "capacity", 2)
+    for i in range(5):
+        fut, owner = pool._BASELINE_MEMO.claim(f"digest{i}")
+        assert owner
+        pool._BASELINE_MEMO.fill(f"digest{i}", f"outcome{i}")
+        assert fut.result() == f"outcome{i}"
+    assert len(pool._BASELINE_MEMO) == 2
+    assert "digest4" in pool._BASELINE_MEMO
+    assert "digest0" not in pool._BASELINE_MEMO
+    clear_baseline_memo()
+    assert len(pool._BASELINE_MEMO) == 0
+
+
+def test_baseline_memo_failure_not_cached():
+    """A failed baseline propagates to coalesced waiters but is never
+    retained — the next claim recomputes."""
+    from repro.exec import pool
+
+    clear_baseline_memo()
+    fut, owner = pool._BASELINE_MEMO.claim("d")
+    assert owner
+    fut2, owner2 = pool._BASELINE_MEMO.claim("d")
+    assert not owner2 and fut2 is fut
+    pool._BASELINE_MEMO.fail("d", RuntimeError("sim died"))
+    with pytest.raises(RuntimeError):
+        fut2.result()
+    assert "d" not in pool._BASELINE_MEMO
+    fut3, owner3 = pool._BASELINE_MEMO.claim("d")
+    assert owner3 and fut3 is not fut
+    pool._BASELINE_MEMO.fill("d", "ok")
+    clear_baseline_memo()

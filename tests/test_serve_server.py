@@ -1,0 +1,198 @@
+"""End-to-end tests for the tflux-serve server (real sockets, in-thread).
+
+The load-bearing properties: streamed outcomes are bit-identical to a
+direct :func:`repro.exec.run_job`, a dedup herd costs exactly one
+simulation per unique spec, admission refuses (never buffers) past the
+bounds, and failures surface as ``job_error`` without poisoning any
+cache.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro.exec import ResultCache, run_job
+from repro.serve import ServeClient, ServeConfig, job_to_wire, serve_in_thread
+from repro.serve.protocol import job_from_wire, outcome_to_wire
+
+#: Two distinct cheap cells (trapez small) — the workhorse grid.
+GRID = [
+    job_to_wire("trapez", nkernels=2, unroll=1),
+    job_to_wire("trapez", nkernels=2, unroll=2),
+]
+
+
+@pytest.fixture
+def spawn():
+    handles = []
+
+    def _spawn(cache=None, unix=None, **kw):
+        config_kw = dict(workers=1, lru_capacity=32)
+        config_kw.update(kw)
+        handle = serve_in_thread(
+            config=ServeConfig(**config_kw), cache=cache, unix=unix
+        )
+        handles.append(handle)
+        return handle
+
+    yield _spawn
+    for handle in handles:
+        handle.stop()
+
+
+def test_streamed_records_bit_identical_to_direct_run(spawn):
+    """The serving stack changes when results arrive, never what they
+    are: the wire outcome equals outcome_to_wire(run_job(spec)) byte for
+    byte, RunRecord payload included."""
+    handle = spawn()
+    with ServeClient(handle.address, tenant="diff") as client:
+        batch = client.submit(GRID)
+    assert batch.ok
+    for i, wire_job in enumerate(GRID):
+        direct = outcome_to_wire(run_job(job_from_wire(wire_job)))
+        served = batch.wire[i]
+        assert json.dumps(served, sort_keys=True) == json.dumps(
+            direct, sort_keys=True
+        )
+
+
+def test_results_stream_incrementally(spawn):
+    handle = spawn()
+    seen = []
+    with ServeClient(handle.address) as client:
+        batch = client.submit(GRID, on_result=lambda i, o: seen.append(i))
+    assert sorted(seen) == [0, 1]  # every result streamed before batch_done
+    assert all(o is not None for o in batch.outcomes)
+
+
+def test_dedup_two_tenants_one_simulation_per_unique_spec(spawn):
+    """Two tenants race the same grid: total simulations equals unique
+    specs; every duplicate is a coalesced flight or an LRU hit.  The
+    invariant holds however the race interleaves."""
+    handle = spawn()
+    batches = {}
+
+    def tenant(name):
+        with ServeClient(handle.address, tenant=name) as client:
+            batches[name] = client.submit(GRID)
+
+    threads = [threading.Thread(target=tenant, args=(n,)) for n in ("alice", "bob")]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert batches["alice"].ok and batches["bob"].ok
+    # Bit-identical across tenants, index by index.
+    for i in range(len(GRID)):
+        assert batches["alice"].wire[i] == batches["bob"].wire[i]
+
+    with ServeClient(handle.address) as client:
+        stats = client.stats()
+    unique, total = len(GRID), 2 * len(GRID)
+    assert stats["executed"] == unique
+    counters = stats["counters"]
+    assert counters["serve.admitted"] == total
+    assert (
+        counters.get("serve.deduped", 0) + counters.get("serve.lru_hits", 0)
+        == total - unique
+    )
+    # Per-tenant accounting rode along.
+    assert counters["serve.tenant.alice.completed"] == len(GRID)
+    assert counters["serve.tenant.bob.completed"] == len(GRID)
+
+
+def test_overloaded_reply_instead_of_buffering(spawn):
+    handle = spawn(max_queued_total=2, max_queued_per_tenant=2)
+    with ServeClient(handle.address, tenant="greedy") as client:
+        batch = client.submit([GRID[0]] * 3)  # 3 > global bound of 2
+        assert batch.status == "overloaded"
+        assert all(o is None for o in batch.outcomes)  # nothing ran
+        # A batch that fits is accepted on the same connection.
+        assert client.submit([GRID[0]]).ok
+        stats = client.stats()
+    assert stats["counters"]["serve.rejected"] == 3
+    assert stats["counters"]["serve.tenant.greedy.rejected"] == 3
+
+
+def test_malformed_batch_rejected_whole(spawn):
+    handle = spawn()
+    with ServeClient(handle.address) as client:
+        batch = client.submit([GRID[0], {"bench": "no-such-bench"}])
+        assert batch.status == "error"
+        assert "no-such-bench" in batch.message
+        batch = client.submit([{"bench": "trapez", "bogus_field": 1}])
+        assert batch.status == "error"
+        stats = client.stats()
+    assert stats["executed"] == 0  # admission is all-or-nothing
+
+
+class _BrokenCache:
+    """A disk layer that fails on read — drives the job_error path."""
+
+    def __init__(self):
+        self.hits = self.misses = self.stores = 0
+
+    def get(self, digest):
+        raise RuntimeError("disk exploded")
+
+    def put(self, digest, value):  # pragma: no cover - never reached
+        pass
+
+    def publish_counters(self, counters, prefix="exec.cache"):
+        pass
+
+
+def test_job_failure_streams_job_error_and_is_not_cached(spawn):
+    handle = spawn(cache=_BrokenCache())
+    with ServeClient(handle.address) as client:
+        batch = client.submit([GRID[0]])
+        assert batch.status == "done" and not batch.ok
+        cls, msg = batch.errors[0]
+        assert cls == "builtins.RuntimeError" and "disk exploded" in msg
+        # The failure was rejected from the flight table, not cached:
+        # resubmitting fails again (a cached failure would succeed).
+        assert not batch.outcomes[0]
+        assert not client.submit([GRID[0]]).ok
+        stats = client.stats()
+    assert stats["executed"] == 0
+    assert stats["lru"]["size"] == 0
+
+
+def test_disk_cache_survives_server_restart(spawn, tmp_path):
+    first = spawn(cache=ResultCache(tmp_path))
+    with ServeClient(first.address) as client:
+        assert client.submit(GRID).ok
+        stats = client.stats()
+    assert stats["counters"]["exec.cache.stores"] == len(GRID)
+    assert stats["counters"]["exec.cache.misses"] == len(GRID)
+
+    second = spawn(cache=ResultCache(tmp_path))  # fresh LRU, same disk
+    with ServeClient(second.address) as client:
+        assert client.submit(GRID).ok
+        stats = client.stats()
+    assert stats["executed"] == 0  # everything answered from disk
+    assert stats["counters"]["exec.cache.hits"] == len(GRID)
+
+
+def test_unix_socket_transport(spawn, tmp_path):
+    path = str(tmp_path / "tflux.sock")
+    handle = spawn(unix=path)
+    with ServeClient(path, tenant="sock") as client:
+        batch = client.submit([GRID[0]])
+    assert batch.ok
+
+
+def test_stats_message_shape(spawn):
+    handle = spawn()
+    with ServeClient(handle.address, tenant="observer") as client:
+        client.submit([GRID[0]])
+        stats = client.stats()
+    assert stats["workers"] == 1
+    assert stats["queue_depth"] == 0
+    assert "observer" in stats["tenants"]
+    lru = stats["lru"]
+    assert lru["capacity"] == 32 and lru["size"] == 1 and lru["inflight"] == 0
+    # Gauges ride in the counter registry for one-stop scraping.
+    assert "serve.lru_size" in stats["counters"]
+    assert "serve.queue_depth" in stats["counters"]

@@ -1,0 +1,149 @@
+#!/usr/bin/env python
+"""CI smoke for the serving layer: a real server process, two clients.
+
+Launches ``python -m repro.serve.cli serve`` as a subprocess, waits for
+its ``listening on HOST:PORT`` line, then drives it the way CI can
+verify end to end:
+
+1. two clients submit overlapping batches concurrently (same grid);
+2. the dedup machinery must fire: ``serve.executed`` equals the unique
+   spec count and ``serve.deduped + serve.lru_hits`` covers every
+   duplicate;
+3. the streamed records must be bit-identical across the two clients;
+4. ``tflux-submit`` (the CLI path) runs against the same server and its
+   ``--json`` dump round-trips.
+
+Exits non-zero on any violation.  Usage::
+
+    PYTHONPATH=src python tools/serve_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import subprocess
+import sys
+import tempfile
+import threading
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.serve import ServeClient, job_to_wire  # noqa: E402
+
+GRID = [
+    job_to_wire("trapez", nkernels=2, unroll=1, max_threads=64 + i)
+    for i in range(4)
+]
+
+
+def main() -> int:
+    env = dict(os.environ, TFLUX_CACHE_DIR="")  # disk cache off: exact counts
+    server = subprocess.Popen(
+        [sys.executable, "-m", "repro.serve.cli", "serve", "--port", "0",
+         "--workers", "1"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+    )
+    try:
+        line = server.stdout.readline()
+        match = re.search(r"listening on ([\d.]+):(\d+)", line)
+        if not match:
+            print(f"serve-smoke: FAIL: no listen line, got {line!r}")
+            return 1
+        address = (match.group(1), int(match.group(2)))
+        print(f"serve-smoke: server up at {address[0]}:{address[1]}")
+
+        # -- overlapping batches from two tenants --------------------------
+        batches: dict[str, object] = {}
+        errors: list[BaseException] = []
+        barrier = threading.Barrier(2)
+
+        def tenant(name: str) -> None:
+            try:
+                with ServeClient(address, tenant=name) as client:
+                    barrier.wait()  # maximise batch overlap
+                    batches[name] = client.submit(GRID)
+            except BaseException as exc:
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=tenant, args=(n,)) for n in ("alice", "bob")
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        if errors:
+            print(f"serve-smoke: FAIL: client error: {errors[0]}")
+            return 1
+        alice, bob = batches["alice"], batches["bob"]
+        if not (alice.ok and bob.ok):
+            print("serve-smoke: FAIL: batch did not resolve")
+            return 1
+
+        for i in range(len(GRID)):
+            a = json.dumps(alice.wire[i], sort_keys=True)
+            b = json.dumps(bob.wire[i], sort_keys=True)
+            if a != b:
+                print(f"serve-smoke: FAIL: job {i} records differ across clients")
+                return 1
+        print(f"serve-smoke: {len(GRID)} records bit-identical across clients")
+
+        with ServeClient(address) as client:
+            stats = client.stats()
+        counters = stats["counters"]
+        total, unique = 2 * len(GRID), len(GRID)
+        duplicates = (
+            counters.get("serve.deduped", 0) + counters.get("serve.lru_hits", 0)
+        )
+        if stats["executed"] != unique:
+            print(f"serve-smoke: FAIL: {stats['executed']} simulations for "
+                  f"{unique} unique specs")
+            return 1
+        if duplicates != total - unique:
+            print(f"serve-smoke: FAIL: dedup did not fire "
+                  f"(deduped+lru_hits={duplicates}, expected {total - unique})")
+            return 1
+        print(f"serve-smoke: dedup fired: {stats['executed']} simulations, "
+              f"{duplicates} duplicates coalesced/LRU-served")
+
+        # -- the CLI client path -------------------------------------------
+        with tempfile.TemporaryDirectory() as tmp:
+            dump = Path(tmp) / "submit.json"
+            proc = subprocess.run(
+                [sys.executable, "-m", "repro.serve.cli", "submit", "trapez",
+                 "--connect", f"{address[0]}:{address[1]}",
+                 "--kernels", "2", "--unroll", "1,2", "--tenant", "cli",
+                 "--stats", "--json", str(dump)],
+                capture_output=True,
+                text=True,
+                timeout=300,
+            )
+            if proc.returncode != 0:
+                print(f"serve-smoke: FAIL: tflux-submit rc={proc.returncode}\n"
+                      f"{proc.stdout}\n{proc.stderr}")
+                return 1
+            payload = json.loads(dump.read_text())
+            if len(payload["outcomes"]) != 2 or any(
+                o is None or "cycles" not in o for o in payload["outcomes"]
+            ):
+                print("serve-smoke: FAIL: tflux-submit --json dump malformed")
+                return 1
+        print("serve-smoke: tflux-submit OK")
+        print("serve-smoke: PASS")
+        return 0
+    finally:
+        server.terminate()
+        try:
+            server.wait(timeout=10)
+        except subprocess.TimeoutExpired:
+            server.kill()
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
