@@ -1,0 +1,447 @@
+"""Race and footprint analysis over recorded accesses.
+
+The dynamic half of DDM dependence checking (the static half is
+:mod:`repro.core.deps`).  Input: one :class:`InstanceRecord` per DThread
+instance that ran — its observed byte-interval footprint per region —
+plus the expanded graph epochs the run actually executed (the root
+graph and every spawned Subflow).  Output: a :class:`CheckReport` of
+
+* **undeclared accesses** — observed footprint not covered by the
+  instance's declared :class:`~repro.sim.accesses.AccessSummary` (only
+  judged for templates that declare one; the shared scalars region is
+  exempt, as scalars are priced as whole-region traffic); and
+* **races** — conflicting observed intervals on two instances with no
+  happens-before path.
+
+Happens-before is the arc-induced order the TSU itself executes: every
+decrement edge of every expanded epoch, plus a spawn edge from each
+spawning instance to the entry fringe of its spawned epoch.  Squash
+needs no special handling — an instance is only squashed once *all* its
+live inputs die, and phantom decrements fire during the producing
+instance's resolution, so every edge (through squashed nodes included)
+is causally ordered.  Reachability over this DAG is the per-instance
+vector clock, kept as packed uint64 bitsets exactly like the static
+deriver's path check.
+
+Candidate conflict pairs come from a last-writer/reader-set sweep over
+coordinate-compressed segments (:class:`~repro.core.regions.SegmentSpace`)
+in a topological linearisation of the happens-before DAG; coalescing is
+sound by chain transitivity (if W1 → W2 → W3 on one segment and both
+adjacent pairs are ordered, so is (W1, W3)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.context import Context
+from repro.core.deps import _topo_order
+from repro.core.dthread import DThreadTemplate
+from repro.core.environment import Environment
+from repro.core.graph import ExpandedGraph
+from repro.core.regions import (
+    EMPTY_INTERVALS,
+    SegmentSpace,
+    intervals_difference,
+    merge_intervals,
+    op_intervals,
+)
+
+__all__ = [
+    "InstanceRecord",
+    "Finding",
+    "CheckReport",
+    "RaceCheckError",
+    "analyze",
+]
+
+SCALARS_REGION = "__scalars__"
+
+
+class RaceCheckError(RuntimeError):
+    """Raised when a gated run (``JobSpec.check``) has findings."""
+
+    def __init__(self, report: "CheckReport") -> None:
+        super().__init__(report.format())
+        self.report = report
+
+
+@dataclass
+class InstanceRecord:
+    """Observed footprint of one DThread instance."""
+
+    template: DThreadTemplate
+    ctx: Context
+    reads: Dict[str, List[np.ndarray]] = field(default_factory=dict)
+    writes: Dict[str, List[np.ndarray]] = field(default_factory=dict)
+    #: Declared summary, evaluated right after the body (None = opaque).
+    declared: Optional[object] = None
+    ops: int = 0
+
+    @property
+    def name(self) -> str:
+        return f"{self.template.name}[{self.ctx}]"
+
+    def add(self, region: str, intervals: np.ndarray, is_write: bool) -> None:
+        side = self.writes if is_write else self.reads
+        side.setdefault(region, []).append(intervals)
+        self.ops += 1
+
+    def merged(self) -> Dict[str, Tuple[np.ndarray, np.ndarray]]:
+        """Per-region canonical (read, write) interval sets."""
+        out: Dict[str, Tuple[np.ndarray, np.ndarray]] = {}
+        for region in set(self.reads) | set(self.writes):
+            r = self.reads.get(region)
+            w = self.writes.get(region)
+            out[region] = (
+                merge_intervals(np.concatenate(r)) if r else EMPTY_INTERVALS,
+                merge_intervals(np.concatenate(w)) if w else EMPTY_INTERVALS,
+            )
+        return out
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One checker diagnosis (an undeclared access or a race)."""
+
+    #: "undeclared" | "race"
+    kind: str
+    region: str
+    #: Canonical byte intervals of the offending footprint.
+    intervals: Tuple[Tuple[int, int], ...]
+    #: Instance names involved: one for undeclared, two for races.
+    instances: Tuple[str, ...]
+    #: "read" / "write" for undeclared; "write/write" etc. for races.
+    access: str
+    #: Suggested reads(...)/writes(...) clause (DDMCPP syntax).
+    suggestion: str
+
+    def describe(self) -> str:
+        spans = ", ".join(f"[{lo}:{hi})" for lo, hi in self.intervals)
+        if self.kind == "undeclared":
+            return (
+                f"undeclared {self.access}: {self.instances[0]} touched "
+                f"{self.region} bytes {spans} outside its declared access "
+                f"summary — suggest {self.suggestion}"
+            )
+        hint = (
+            f"add an arc between them or declare the footprint "
+            f"(e.g. {self.suggestion}) and derive arcs"
+            if self.suggestion
+            else "add an arc ordering them"
+        )
+        return (
+            f"race: {self.access} on {self.region} bytes {spans} between "
+            f"{self.instances[0]} and {self.instances[1]} (no happens-before "
+            f"path) — {hint}"
+        )
+
+
+@dataclass
+class CheckReport:
+    """Outcome of one checked run."""
+
+    findings: List[Finding] = field(default_factory=list)
+    instances_recorded: int = 0
+    ops_recorded: int = 0
+    #: Names of templates whose footprint was not judged against a
+    #: declaration (they declare no accesses; races are still checked).
+    opaque_templates: List[str] = field(default_factory=list)
+
+    @property
+    def undeclared(self) -> List[Finding]:
+        return [f for f in self.findings if f.kind == "undeclared"]
+
+    @property
+    def races(self) -> List[Finding]:
+        return [f for f in self.findings if f.kind == "race"]
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def format(self) -> str:
+        lines: List[str] = []
+        for f in self.findings:
+            lines.append(f"error: {f.describe()}")
+        if self.opaque_templates:
+            lines.append(
+                "note: no access declarations for "
+                + ", ".join(self.opaque_templates)
+                + " (footprints not judged; races still checked)"
+            )
+        if not self.findings:
+            lines.append(
+                f"check: clean ({self.instances_recorded} instances "
+                f"recorded, {self.ops_recorded} ops; no undeclared "
+                "accesses, no races)"
+            )
+        else:
+            lines.append(
+                f"check: {len(self.undeclared)} undeclared access(es), "
+                f"{len(self.races)} race(s) across "
+                f"{self.instances_recorded} recorded instance(s)"
+            )
+        return "\n".join(lines)
+
+    def publish(self, counters) -> None:
+        """Merge ``check.*`` metrics into a :class:`repro.obs` Counters."""
+        counters.inc("check.runs")
+        counters.inc("check.instances_recorded", self.instances_recorded)
+        counters.inc("check.ops_recorded", self.ops_recorded)
+        counters.inc("check.findings_undeclared", len(self.undeclared))
+        counters.inc("check.findings_race", len(self.races))
+
+
+# -- helpers --------------------------------------------------------------------
+def _intervals_intersection(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    return intervals_difference(a, intervals_difference(a, b))
+
+
+def _as_tuples(iv: np.ndarray) -> Tuple[Tuple[int, int], ...]:
+    return tuple((int(lo), int(hi)) for lo, hi in iv)
+
+
+def _clause(
+    verb: str, region: str, iv: np.ndarray, env: Environment
+) -> str:
+    """DDMCPP-syntax access clause covering *iv* on *region*."""
+    arrays = env._arrays
+    if region not in arrays:
+        return f"{verb}({region})"
+    arr = arrays[region]
+    itemsize = int(arr.itemsize)
+    lo = int(iv[0, 0]) // itemsize
+    hi = -(-int(iv[-1, 1]) // itemsize)
+    if lo == 0 and hi * itemsize >= int(arr.nbytes):
+        return f"{verb}({region})"
+    return f"{verb}({region}[{lo} .. {hi}])"
+
+
+def _declared_intervals(declared) -> Dict[str, Tuple[np.ndarray, np.ndarray]]:
+    """Per-region (reads, writes) canonical intervals of one summary."""
+    by_region: Dict[str, Tuple[List[np.ndarray], List[np.ndarray]]] = {}
+    for op in declared:
+        slot = by_region.setdefault(op.region.name, ([], []))
+        slot[1 if op.is_write else 0].append(op_intervals(op))
+    out: Dict[str, Tuple[np.ndarray, np.ndarray]] = {}
+    for region, (r, w) in by_region.items():
+        out[region] = (
+            merge_intervals(np.concatenate(r)) if r else EMPTY_INTERVALS,
+            merge_intervals(np.concatenate(w)) if w else EMPTY_INTERVALS,
+        )
+    return out
+
+
+def _scalar_names_by_offset(env: Environment) -> Dict[int, str]:
+    return {off: name for name, off in env._scalar_offsets.items()}
+
+
+def _region_label(region: str, iv: np.ndarray, env: Environment) -> str:
+    """Human-readable region name (scalar slots resolve to their name)."""
+    if region != SCALARS_REGION or len(iv) == 0:
+        return region
+    names = _scalar_names_by_offset(env)
+    name = names.get(int(iv[0, 0]))
+    return f"scalar {name!r}" if name else region
+
+
+# -- the analysis ---------------------------------------------------------------
+def analyze(
+    env: Environment,
+    epochs: Sequence[Tuple[ExpandedGraph, Optional[InstanceRecord]]],
+    records: Sequence[InstanceRecord],
+) -> CheckReport:
+    """Judge recorded footprints against declarations and happens-before.
+
+    *epochs* lists every expanded graph the run executed, each paired
+    with the record of the instance that spawned it (``None`` for the
+    root).  *records* is every instance that actually ran.
+    """
+    report = CheckReport(
+        instances_recorded=len(records),
+        ops_recorded=sum(rec.ops for rec in records),
+    )
+
+    # -- global instance ids + happens-before edges --------------------------
+    gids: Dict[Tuple[int, Context], int] = {}
+    consumers: List[List[int]] = []
+    names: List[str] = []
+    spawn_edges: List[Tuple[InstanceRecord, int]] = []  # resolved below
+    for expanded, spawner in epochs:
+        offset = len(consumers)
+        for inst in expanded.instances:
+            gids[(id(inst.template), inst.ctx)] = offset + inst.iid
+            names.append(inst.name)
+        for outs in expanded.consumers:
+            consumers.append([offset + v for v in outs])
+        if spawner is not None:
+            for iid in expanded.entry:
+                spawn_edges.append((spawner, offset + iid))
+
+    n = len(consumers)
+    for spawner, dst in spawn_edges:
+        src = gids.get((id(spawner.template), spawner.ctx))
+        if src is None:  # pragma: no cover - internal invariant
+            raise RuntimeError(f"spawner {spawner.name} not in any epoch")
+        consumers[src].append(dst)
+
+    rec_gid: Dict[int, InstanceRecord] = {}
+    for rec in records:
+        gid = gids.get((id(rec.template), rec.ctx))
+        if gid is None:  # pragma: no cover - internal invariant
+            raise RuntimeError(
+                f"recorded instance {rec.name} not in any expanded epoch"
+            )
+        rec_gid[gid] = rec
+
+    # -- reachability: packed-bitset vector clocks ---------------------------
+    order = _topo_order(consumers, n)
+    words = (n + 63) // 64
+    reach = np.zeros((n, words), dtype=np.uint64)
+    bit_word = np.arange(n) >> 6
+    bit_mask = np.uint64(1) << (np.arange(n, dtype=np.uint64) & np.uint64(63))
+    for u in reversed(order):
+        row = reach[u]
+        for v in consumers[u]:
+            row |= reach[v]
+            row[bit_word[v]] |= bit_mask[v]
+
+    def ordered(a: int, b: int) -> bool:
+        return bool(reach[a, bit_word[b]] & bit_mask[b])
+
+    # -- undeclared/out-of-bounds accesses -----------------------------------
+    opaque: set = set()
+    footprints: Dict[int, Dict[str, Tuple[np.ndarray, np.ndarray]]] = {}
+    for gid, rec in rec_gid.items():
+        fp = rec.merged()
+        footprints[gid] = fp
+        if rec.declared is None:
+            if rec.template.accesses is None:
+                opaque.add(rec.template.name)
+            continue
+        decl = _declared_intervals(rec.declared)
+        for region, (obs_r, obs_w) in fp.items():
+            if region == SCALARS_REGION:
+                continue  # scalars are priced whole-region; not judged
+            decl_r, decl_w = decl.get(region, (EMPTY_INTERVALS, EMPTY_INTERVALS))
+            decl_all = merge_intervals(np.concatenate([decl_r, decl_w]))
+            extra_w = intervals_difference(obs_w, decl_w)
+            if len(extra_w):
+                report.findings.append(
+                    Finding(
+                        kind="undeclared",
+                        region=region,
+                        intervals=_as_tuples(extra_w),
+                        instances=(rec.name,),
+                        access="write",
+                        suggestion=_clause("writes", region, extra_w, env),
+                    )
+                )
+            extra_r = intervals_difference(obs_r, decl_all)
+            if len(extra_r):
+                report.findings.append(
+                    Finding(
+                        kind="undeclared",
+                        region=region,
+                        intervals=_as_tuples(extra_r),
+                        instances=(rec.name,),
+                        access="read",
+                        suggestion=_clause("reads", region, extra_r, env),
+                    )
+                )
+    report.opaque_templates = sorted(opaque)
+
+    # -- races ----------------------------------------------------------------
+    position = {gid: i for i, gid in enumerate(order)}
+    by_region: Dict[str, List[int]] = {}
+    for gid, fp in footprints.items():
+        for region in fp:
+            by_region.setdefault(region, []).append(gid)
+
+    candidates: set = set()
+    for region, touching in by_region.items():
+        if len(touching) < 2:
+            continue
+        touching.sort(key=position.__getitem__)
+        space = SegmentSpace.from_intervals(
+            iv
+            for gid in touching
+            for iv in footprints[gid][region]
+        )
+        nseg = space.nsegments
+        if nseg == 0:
+            continue
+        last_writer = np.full(nseg, -1, dtype=np.int64)
+        reader_id = np.zeros(nseg, dtype=np.int64)
+        reader_sets: List[frozenset] = [frozenset()]
+        union_memo: Dict[Tuple[int, int], int] = {}
+        for gid in touching:
+            obs_r, obs_w = footprints[gid][region]
+            rmask = space.mask(obs_r)
+            wmask = space.mask(obs_w)
+            for prior in np.unique(last_writer[rmask | wmask]):
+                if prior >= 0 and prior != gid:
+                    candidates.add((int(prior), gid, region))
+            if wmask.any():
+                for rid in np.unique(reader_id[wmask]):
+                    for reader in reader_sets[rid]:
+                        if reader != gid:
+                            candidates.add((reader, gid, region))
+                last_writer[wmask] = gid
+                reader_id[wmask] = 0
+            radd = rmask & ~wmask
+            if radd.any():
+                for rid in np.unique(reader_id[radd]):
+                    key = (int(rid), gid)
+                    new_rid = union_memo.get(key)
+                    if new_rid is None:
+                        new_rid = len(reader_sets)
+                        reader_sets.append(reader_sets[rid] | {gid})
+                        union_memo[key] = new_rid
+                    reader_id[radd & (reader_id == rid)] = new_rid
+
+    for a, b, region in sorted(
+        candidates, key=lambda c: (position[c[0]], position[c[1]], c[2])
+    ):
+        if ordered(a, b):
+            continue
+        ar, aw = footprints[a][region]
+        br, bw = footprints[b][region]
+        a_all = merge_intervals(np.concatenate([ar, aw]))
+        b_all = merge_intervals(np.concatenate([br, bw]))
+        conflict = merge_intervals(
+            np.concatenate(
+                [
+                    _intervals_intersection(aw, b_all),
+                    _intervals_intersection(a_all, bw),
+                ]
+            )
+        )
+        if not len(conflict):  # pragma: no cover - sweep only yields conflicts
+            continue
+        ww = len(_intervals_intersection(aw, bw)) > 0
+        wr = len(_intervals_intersection(aw, br)) > 0
+        rw = len(_intervals_intersection(ar, bw)) > 0
+        kinds = [k for k, hit in (("write/write", ww), ("write/read", wr), ("read/write", rw)) if hit]
+        report.findings.append(
+            Finding(
+                kind="race",
+                region=_region_label(region, conflict, env),
+                intervals=_as_tuples(conflict),
+                instances=(rec_gid[a].name, rec_gid[b].name),
+                access=", ".join(kinds),
+                suggestion=(
+                    ""
+                    if region == SCALARS_REGION
+                    else _clause(
+                        "writes" if ww or wr else "reads", region, conflict, env
+                    )
+                ),
+            )
+        )
+
+    return report

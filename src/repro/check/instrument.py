@@ -1,0 +1,129 @@
+"""Program instrumentation: swap DThread bodies for recording wrappers.
+
+:func:`instrument` rewrites every template body of a program in place so
+that, on any backend, the body executes against a
+:class:`~repro.check.recording.CheckedEnvironment` while the rest of the
+machinery (cost models, access summaries, schedulers) sees the program
+unchanged.  The wrapper:
+
+* attributes recorded ops to the current instance via **thread-local**
+  state — the native backend runs bodies concurrently on OS threads, so
+  a global "current instance" would misattribute;
+* evaluates the declared ``accesses(env, ctx)`` summary against the
+  *raw* environment right after the body returns — the same values, in
+  the same order, the simulated driver evaluates them, so instrumented
+  runs stay cycle-identical (the functional/timing split is preserved
+  by construction: nothing on the timing path is wrapped);
+* intercepts :class:`~repro.core.dynamic.Subflow` outcomes, recursively
+  instrumenting the spawned templates and remembering which instance
+  spawned which epoch (the spawn edges of the happens-before order).
+
+Sequential prologue/epilogue sections run unrecorded: they execute
+before/after the dataflow region and cannot race with anything.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.check.checker import CheckReport, InstanceRecord, analyze
+from repro.check.recording import AccessSink, CheckedEnvironment
+from repro.core.dynamic import Subflow
+from repro.core.dthread import DThreadTemplate
+from repro.core.graph import SynchronizationGraph
+from repro.core.program import DDMProgram
+
+__all__ = ["CheckSession", "instrument", "run_checked"]
+
+
+class CheckSession(AccessSink):
+    """Recording state for one instrumented program execution.
+
+    Create via :func:`instrument`, execute the program once on any
+    backend, then call :meth:`report`.
+    """
+
+    def __init__(self, program: DDMProgram) -> None:
+        self.program = program
+        self._records: List[InstanceRecord] = []
+        self._spawns: List[Tuple[Subflow, InstanceRecord]] = []
+        self._tls = threading.local()
+        self._lock = threading.Lock()
+        self._checked_env = CheckedEnvironment(program.env, self)
+        self._instrument_graph(program.graph)
+
+    # -- AccessSink -----------------------------------------------------------
+    def record(self, region: str, intervals: np.ndarray, is_write: bool) -> None:
+        rec = getattr(self._tls, "rec", None)
+        if rec is not None:
+            rec.add(region, intervals, is_write)
+
+    # -- instrumentation ------------------------------------------------------
+    def _instrument_graph(self, graph: SynchronizationGraph) -> None:
+        for tmpl in graph.templates:
+            self._wrap_template(tmpl)
+
+    def _wrap_template(self, tmpl: DThreadTemplate) -> None:
+        orig = tmpl.body
+        if orig is None or getattr(orig, "_check_wrapped", False):
+            return
+        session = self
+
+        def body(env, ctx, _orig=orig, _tmpl=tmpl):
+            rec = InstanceRecord(_tmpl, ctx)
+            with session._lock:
+                session._records.append(rec)
+            prev = getattr(session._tls, "rec", None)
+            session._tls.rec = rec
+            try:
+                out = _orig(session._checked_env, ctx)
+            finally:
+                session._tls.rec = prev
+            # Declared summary, evaluated on the raw env right after the
+            # body — the order the simulated driver uses.
+            if _tmpl.accesses is not None:
+                rec.declared = _tmpl.accesses(env, ctx)
+            if isinstance(out, Subflow):
+                with session._lock:
+                    session._spawns.append((out, rec))
+                session._instrument_graph(out.graph)
+            return out
+
+        body._check_wrapped = True
+        tmpl.body = body
+
+    # -- analysis -------------------------------------------------------------
+    def report(self) -> CheckReport:
+        """Analyse everything recorded so far."""
+        epochs: List[Tuple[object, Optional[InstanceRecord]]] = [
+            (self.program.expanded(), None)
+        ]
+        with self._lock:
+            spawns = list(self._spawns)
+            records = list(self._records)
+        for sf, rec in spawns:
+            epochs.append((sf.expand(), rec))
+        return analyze(self.program.env, epochs, records)
+
+
+def instrument(program: DDMProgram) -> CheckSession:
+    """Instrument *program* in place for access recording.
+
+    Returns the session; run the program once (any backend — its cycle
+    counts are unchanged), then call :meth:`CheckSession.report`.
+    """
+    return CheckSession(program)
+
+
+def run_checked(program: DDMProgram) -> CheckReport:
+    """Instrument, run the functional oracle, and analyse.
+
+    The standard frontend path (``tflux-run --check-races``): one
+    sequential functional execution, no timing simulation.
+    """
+    session = instrument(program)
+    program.run_sequential()
+    return session.report()

@@ -122,6 +122,13 @@ def main(argv: list[str] | None = None) -> int:
         "synchronization graph against the dependence graph derived from "
         "its access summaries; exit 1 if any dependence is missing",
     )
+    parser.add_argument(
+        "--check-races",
+        action="store_true",
+        help="instead of evaluating, run the benchmark once functionally "
+        "under the dynamic race detector (recorded footprints vs declared "
+        "summaries, races vs the happens-before order); exit 1 on findings",
+    )
     args = parser.parse_args(argv)
     if args.unroll != "auto":
         # Mirror the evaluate-path error contract (stderr + exit code 2,
@@ -171,9 +178,16 @@ def main(argv: list[str] | None = None) -> int:
         platform = _PLATFORMS[args.platform]()
     size = problem_sizes(args.benchmark, platform.target)[args.size]
 
-    if args.check_deps:
-        return _check_deps(args.benchmark, size,
-                           args.unroll if isinstance(args.unroll, int) else 0)
+    if args.check_deps or args.check_races:
+        # The two audits compose: static graph diagnosis, then one
+        # recorded functional run (each on a fresh program build).
+        unroll = args.unroll if isinstance(args.unroll, int) else 0
+        status = 0
+        if args.check_deps:
+            status = max(status, _check_deps(args.benchmark, size, unroll))
+        if args.check_races:
+            status = max(status, _check_races(args.benchmark, size, unroll))
+        return status
 
     if args.unroll == "auto":
         unrolls: tuple[int, ...] | str = "auto"
@@ -241,6 +255,18 @@ def _check_deps(bench_name: str, size, unroll: int) -> int:
 
     prog = get_benchmark(bench_name).build(size, unroll=unroll or 1)
     report = check_deps(prog)
+    print(f"{bench_name} ({size}):")
+    print(report.format())
+    return 0 if report.ok else 1
+
+
+def _check_races(bench_name: str, size, unroll: int) -> int:
+    """Run once functionally under the dynamic race detector."""
+    from repro.apps import get_benchmark
+    from repro.check import run_checked
+
+    prog = get_benchmark(bench_name).build(size, unroll=unroll or 1)
+    report = run_checked(prog)
     print(f"{bench_name} ({size}):")
     print(report.format())
     return 0 if report.ok else 1

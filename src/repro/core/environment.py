@@ -22,6 +22,10 @@ from repro.sim.accesses import Region, RegionSpace
 __all__ = ["Environment"]
 
 _SCALARS_REGION_BYTES = 4096
+#: Byte slot reserved per scalar inside the shared scalars region.  Gives
+#: each scalar a distinct, stable address for access attribution (the
+#: race checker); with more than 512 scalars, slots wrap and alias.
+_SCALAR_SLOT_BYTES = 8
 
 
 class Environment:
@@ -31,6 +35,7 @@ class Environment:
         self.regions = RegionSpace()
         self._arrays: dict[str, np.ndarray] = {}
         self._scalars: dict[str, Any] = {}
+        self._scalar_offsets: dict[str, int] = {}
         # All scalar shared variables live in one small region.
         self._scalars_region = self.regions.region("__scalars__", _SCALARS_REGION_BYTES)
 
@@ -63,6 +68,22 @@ class Environment:
         if name in self._scalars:
             return self._scalars_region
         raise KeyError(name)
+
+    def scalar_offset(self, name: str) -> int:
+        """Stable byte offset of the named scalar inside ``__scalars__``.
+
+        Slots are assigned in first-use order, :data:`_SCALAR_SLOT_BYTES`
+        apart, wrapping within the region.  Purely an attribution aid —
+        the timing layer keeps pricing scalars as whole-region traffic,
+        so cycle counts are untouched by slot assignment.
+        """
+        off = self._scalar_offsets.get(name)
+        if off is None:
+            off = (
+                len(self._scalar_offsets) * _SCALAR_SLOT_BYTES
+            ) % _SCALARS_REGION_BYTES
+            self._scalar_offsets[name] = off
+        return off
 
     # -- scalars -------------------------------------------------------------
     def set(self, name: str, value: Any) -> None:

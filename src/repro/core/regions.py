@@ -36,6 +36,7 @@ __all__ = [
     "op_intervals",
     "merge_intervals",
     "intervals_overlap",
+    "intervals_difference",
     "SegmentSpace",
     "LineTable",
     "EMPTY_INTERVALS",
@@ -148,6 +149,38 @@ def intervals_overlap(a: np.ndarray, b: np.ndarray) -> bool:
         return False
     prior_end = a[pos[has_prior] - 1, 1]
     return bool((prior_end > b[has_prior, 0]).any())
+
+
+def intervals_difference(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Parts of *a* not covered by *b*, in canonical form.
+
+    Both arguments must be canonical (disjoint, sorted).  The race
+    checker uses this to name exactly which bytes of an observed
+    footprint fall outside the declared one.
+    """
+    a = np.asarray(a, dtype=np.int64).reshape(-1, 2)
+    b = np.asarray(b, dtype=np.int64).reshape(-1, 2)
+    if len(a) == 0 or len(b) == 0:
+        return a.copy()
+    out: list[tuple[int, int]] = []
+    j = 0
+    for lo, hi in a:
+        cur = int(lo)
+        # b intervals ending at or before cur can never cover this or any
+        # later a interval (both sets are sorted and disjoint).
+        while j < len(b) and b[j, 1] <= cur:
+            j += 1
+        k = j
+        while k < len(b) and b[k, 0] < hi:
+            if b[k, 0] > cur:
+                out.append((cur, int(b[k, 0])))
+            cur = max(cur, int(b[k, 1]))
+            k += 1
+        if cur < hi:
+            out.append((cur, int(hi)))
+    if not out:
+        return EMPTY_INTERVALS
+    return np.array(out, dtype=np.int64)
 
 
 class SegmentSpace:

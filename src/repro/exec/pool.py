@@ -114,6 +114,12 @@ class JobSpec:
     #: raising (used by grids whose interesting result *is* the failure,
     #: e.g. the Cell Local-Store capacity wall).
     capture_errors: bool = False
+    #: "" = no checking; "races" = gate the job on a clean dynamic race
+    #: check (one extra functional run under :mod:`repro.check`; a
+    #: finding raises :class:`repro.check.RaceCheckError`, captured like
+    #: any job error when ``capture_errors`` is set).  Participates in
+    #: the cache digest like every other field.
+    check: str = ""
 
 
 @dataclass
@@ -153,6 +159,20 @@ def run_job(spec: JobSpec) -> JobOutcome:
     bench = repro.apps.get_benchmark(spec.bench)
     platform = spec.platform
     try:
+        check_report = None
+        if spec.check:
+            if spec.check != "races":
+                raise ValueError(
+                    f"unknown check {spec.check!r}; expected '' or 'races'"
+                )
+            from repro.check import RaceCheckError, run_checked
+
+            check_prog = bench.build(
+                spec.size, unroll=spec.unroll, max_threads=spec.max_threads
+            )
+            check_report = run_checked(check_prog)
+            if not check_report.ok:
+                raise RaceCheckError(check_report)
         if spec.mode == "sequential":
             prog = bench.build(
                 spec.size, unroll=spec.unroll, max_threads=spec.max_threads
@@ -183,6 +203,8 @@ def run_job(spec: JobSpec) -> JobOutcome:
         )
         if spec.verify:
             bench.verify(par.env, spec.size)
+        if check_report is not None:
+            check_report.publish(par.counters)
         seq_cycles: Optional[int] = None
         if spec.mode == "evaluate":
             seq_prog = bench.build(

@@ -7,6 +7,8 @@ Usage::
     ddmcpp input.ddm --run --kernels 4   # run on the simulated platform
     ddmcpp input.ddm --check-deps        # diagnose declared arcs against
                                          # the derived dependence graph
+    ddmcpp input.ddm --check-races       # one recorded functional run:
+                                         # undeclared accesses + races
 """
 
 from __future__ import annotations
@@ -44,6 +46,14 @@ def main(argv: list[str] | None = None) -> int:
         "(no access overlap) and missing (derived conflict with no "
         "ordering path) arcs; exit 1 if any dependence is missing",
     )
+    parser.add_argument(
+        "--check-races",
+        action="store_true",
+        help="execute the program once functionally under the dynamic "
+        "race detector: recorded footprints are held to the declared "
+        "access clauses and to the arc-induced happens-before order; "
+        "exit 1 on any undeclared access or race",
+    )
     args = parser.parse_args(argv)
 
     try:
@@ -52,13 +62,25 @@ def main(argv: list[str] | None = None) -> int:
         print(f"ddmcpp: cannot read {args.input}: {exc}", file=sys.stderr)
         return 1
     try:
-        if args.check_deps:
-            from repro.core.deps import check_deps
+        if args.check_deps or args.check_races:
+            # Both audits compose in one invocation; programs are
+            # single-run objects, so each gets a fresh compile.
+            status = 0
+            if args.check_deps:
+                from repro.core.deps import check_deps
 
-            report = check_deps(compile_to_program(source))
-            print(f"{args.input}:")
-            print(report.format())
-            return 0 if report.ok else 1
+                report = check_deps(compile_to_program(source))
+                print(f"{args.input}:")
+                print(report.format())
+                status = max(status, 0 if report.ok else 1)
+            if args.check_races:
+                from repro.check import run_checked
+
+                report = run_checked(compile_to_program(source))
+                print(f"{args.input}:")
+                print(report.format())
+                status = max(status, 0 if report.ok else 1)
+            return status
         if args.output:
             Path(args.output).write_text(emit_module(source))
             print(f"wrote {args.output}")

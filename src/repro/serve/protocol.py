@@ -94,6 +94,7 @@ _JOB_DEFAULTS = {
     "allow_stealing": False,
     "collect_spans": False,
     "capture_errors": False,
+    "check": "",
     # dist-only extras
     "nodes": 2,
     "topology": "mesh",
@@ -153,6 +154,9 @@ def job_from_wire(wire: dict[str, Any]) -> JobSpec:
     mode = wire.get("mode", "execute")
     if mode not in ("execute", "sequential", "evaluate"):
         raise WireError(f"unknown mode {mode!r}")
+    check = wire.get("check", "")
+    if check not in ("", "races"):
+        raise WireError(f"unknown check {check!r} (expected '' or 'races')")
     tsu_capacity = wire.get("tsu_capacity")
     try:
         return JobSpec(
@@ -169,6 +173,7 @@ def job_from_wire(wire: dict[str, Any]) -> JobSpec:
             allow_stealing=bool(wire.get("allow_stealing", False)),
             collect_spans=bool(wire.get("collect_spans", False)),
             capture_errors=bool(wire.get("capture_errors", False)),
+            check=check,
         )
     except (TypeError, ValueError) as exc:
         raise WireError(f"malformed job field: {exc}") from None

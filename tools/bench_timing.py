@@ -10,8 +10,10 @@ dimensions, while dispatching fewer events per DThread instance), times
 the coherence-hot FFT/MMULT cells whose invalidation sweeps stress the
 two-level sharer directory (cycles must match the flat-mask seed
 bit-for-bit), measures the ``unrolls="auto"`` adaptive search against
-the full A2 factor grid (same best cells, fewer simulations), and
-writes the measurements to ``BENCH_PR8.json``.
+the full A2 factor grid (same best cells, fewer simulations), measures
+the dynamic race detector's on-path overhead (instrumented vs plain
+functional runs, plus a simulated cycle-identity check), and writes the
+measurements to ``BENCH_PR10.json``.
 
 The parallel measurement is skipped (and annotated in the JSON) on
 hosts with ≤2 CPUs, where the pool can only add fork overhead.
@@ -301,6 +303,78 @@ def check_fastpath() -> dict:
     return {"identical_cycles": identical, "configs": rows}
 
 
+# -- race-check instrumentation overhead ---------------------------------------
+def time_check_overhead() -> dict:
+    """Cost of the dynamic race detector (``--check-races``), two ways:
+
+    * **on-path factor** — the same program run functionally plain vs
+      instrumented (recording every access + the vector-clock analysis);
+    * **timing neutrality** — a simulated run plain vs instrumented must
+      be cycle-identical: recording wraps only the functional side, all
+      cycle numbers still come from the declared access summaries.
+
+    With checking off nothing is wrapped, so the plain numbers *are* the
+    zero-overhead baseline.
+    """
+    from repro.check import instrument
+    from repro.runtime.simdriver import SimulatedRuntime
+    from repro.sim.machine import BAGLE_27
+
+    rows = {}
+    for bench_name in ("trapez", "qsort_rec", "quad"):
+        bench = get_benchmark(bench_name)
+        size = problem_sizes(bench_name, "S")["small"]
+
+        def run(checked: bool) -> float:
+            best = None
+            for _ in range(3):
+                prog = bench.build(size, unroll=2)
+                session = instrument(prog) if checked else None
+                t0 = time.perf_counter()
+                prog.run_sequential()
+                if session is not None:
+                    report = session.report()
+                    assert report.ok, report.format()
+                dt = time.perf_counter() - t0
+                best = dt if best is None or dt < best else best
+            return best
+
+        plain_s, checked_s = run(False), run(True)
+        factor = checked_s / plain_s if plain_s else float("inf")
+        rows[bench_name] = {
+            "plain_seconds_best_of_3": round(plain_s, 4),
+            "checked_seconds_best_of_3": round(checked_s, 4),
+            "on_path_factor": round(factor, 2),
+        }
+        print(
+            f"{'check ' + bench_name:>28}: {plain_s:7.3f}s -> "
+            f"{checked_s:7.3f}s  ({factor:.1f}x when enabled)"
+        )
+
+    # Timing neutrality: simulate one cell plain and instrumented.
+    def sim(checked: bool):
+        prog = get_benchmark("trapez").build(
+            problem_sizes("trapez", "S")["small"], unroll=8
+        )
+        if checked:
+            instrument(prog)
+        return SimulatedRuntime(prog, BAGLE_27, nkernels=8).run()
+
+    plain, checked = sim(False), sim(True)
+    identical = plain.cycles == checked.cycles
+    flag = "" if identical else "  << CYCLES DIVERGE"
+    print(
+        f"{'check sim neutrality':>28}: {plain.cycles:,} cycles plain, "
+        f"{checked.cycles:,} instrumented{flag}"
+    )
+    return {
+        "cells": rows,
+        "sim_cycles_plain": plain.cycles,
+        "sim_cycles_checked": checked.cycles,
+        "sim_cycles_identical": identical,
+    }
+
+
 def timed(label: str, fn):
     t0 = time.perf_counter()
     out = fn()
@@ -331,7 +405,7 @@ def time_headline(cache_dir: str) -> dict[str, float]:
 def main() -> None:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--jobs", type=int, default=4)
-    ap.add_argument("--out", default="BENCH_PR8.json")
+    ap.add_argument("--out", default="BENCH_PR10.json")
     ap.add_argument("--quick", action="store_true")
     ap.add_argument(
         "--no-headline", action="store_true",
@@ -383,6 +457,7 @@ def main() -> None:
         fastpath = check_fastpath()
         coherence = time_coherence()
         auto_unroll = time_auto_unroll()
+        race_check = time_check_overhead()
         if args.no_headline:
             headline = None
         else:
@@ -410,10 +485,14 @@ def main() -> None:
     )
     assert auto_unroll["simulations_auto"] < auto_unroll["simulations_full_grid"]
     print("adaptive unroll search matches the full grid with fewer simulations")
+    assert race_check["sim_cycles_identical"], (
+        "race-check instrumentation changed simulated cycles"
+    )
+    print("race-check instrumentation cycle-neutral under simulation")
 
     prev_serial = None
-    if os.path.exists("BENCH_PR4.json"):
-        with open("BENCH_PR4.json") as fh:
+    if os.path.exists("BENCH_PR8.json"):
+        with open("BENCH_PR8.json") as fh:
             prev_serial = json.load(fh).get("seconds", {}).get("serial")
 
     payload = {
@@ -446,6 +525,7 @@ def main() -> None:
         "coherence_hot": coherence,
         "auto_unroll": auto_unroll,
         "fastpath": fastpath,
+        "race_check": race_check,
         "serial_seconds_prev_pr": prev_serial,
         "bench_headline_seconds": headline,
         "note": (
